@@ -1,0 +1,7 @@
+set terminal pngcairo size 900,600
+set output 'fig1d_s3_trace.png'
+set title 'Fig. 1(d): Strategy 3 service order (server 1, 0.2 s window)'
+set xlabel 'time (s)'
+set ylabel 'LBN'
+set key outside
+plot 'fig1d_s3_trace_strategy_3.dat' with points pt 7 ps 0.3 title 'strategy 3'

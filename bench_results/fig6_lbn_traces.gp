@@ -1,0 +1,8 @@
+set terminal pngcairo size 900,600
+set output 'fig6_lbn_traces.png'
+set title 'Fig. 6: LBN service order, 2 concurrent mpi-io-test (server 1, 1 s)'
+set xlabel 'time (s)'
+set ylabel 'LBN'
+set key outside
+plot 'fig6_lbn_traces_vanilla.dat' with points pt 7 ps 0.3 title 'vanilla', \
+     'fig6_lbn_traces_dualpar.dat' with points pt 7 ps 0.3 title 'dualpar'

@@ -1,0 +1,8 @@
+set terminal pngcairo size 900,600
+set output 'fig7a_throughput.png'
+set title 'Fig. 7(a): system throughput, hpio joins at t=10 s'
+set xlabel 'time (s)'
+set ylabel 'MB/s'
+set key outside
+plot 'fig7a_throughput_vanilla.dat' with linespoints title 'vanilla', \
+     'fig7a_throughput_adaptive_dualpar.dat' with linespoints title 'adaptive dualpar'

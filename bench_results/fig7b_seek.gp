@@ -1,0 +1,8 @@
+set terminal pngcairo size 900,600
+set output 'fig7b_seek.png'
+set title 'Fig. 7(b): average seek distance on server 1'
+set xlabel 'time (s)'
+set ylabel 'sectors'
+set key outside
+plot 'fig7b_seek_vanilla.dat' with linespoints title 'vanilla', \
+     'fig7b_seek_adaptive_dualpar.dat' with linespoints title 'adaptive dualpar'

@@ -1,0 +1,57 @@
+//! Ablation: retain vs slice-out computation in ghost pre-execution.
+//!
+//! DualPar deliberately *retains* computation in pre-execution (prediction
+//! accuracy, no source access needed) and pays for it with redundant
+//! compute. Slicing computation out (the Chen et al. technique the paper's
+//! Strategy 2 borrows) makes phases cheaper but is only safe when the
+//! I/O addresses do not depend on computation. This bench quantifies what
+//! retention costs at different I/O intensities.
+
+use dualpar_bench::experiments::run_demo;
+use dualpar_bench::{paper_cluster, print_table, save_json};
+use dualpar_cluster::IoStrategy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    io_ratio: f64,
+    retained_secs: f64,
+    sliced_secs: f64,
+    retention_cost_pct: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &ratio in &[0.4, 0.6, 0.8, 1.0] {
+        let secs = |slice: bool| {
+            let mut cfg = paper_cluster();
+            cfg.dualpar.ghost_slice_compute = slice;
+            let (r, _) = run_demo(cfg, IoStrategy::DualParForced, ratio, 4096, 128 << 20);
+            r.programs[0].elapsed().as_secs_f64()
+        };
+        let retained = secs(false);
+        let sliced = secs(true);
+        rows.push(Row {
+            io_ratio: ratio,
+            retained_secs: retained,
+            sliced_secs: sliced,
+            retention_cost_pct: (retained / sliced - 1.0) * 100.0,
+        });
+    }
+    print_table(
+        "Ablation: ghost computation retained vs sliced out (demo)",
+        &["I/O ratio", "retained (s)", "sliced (s)", "retention cost"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}%", r.io_ratio * 100.0),
+                    format!("{:.1}", r.retained_secs),
+                    format!("{:.1}", r.sliced_secs),
+                    format!("{:+.0}%", r.retention_cost_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    save_json("ablation_ghost", &rows);
+}

@@ -1,0 +1,58 @@
+//! Ablation: EMC trigger thresholds.
+//!
+//! The paper claims "system performance is not sensitive to this threshold"
+//! (`T_improvement` = 3). We sweep `T_improvement` and the I/O-ratio
+//! trigger on the interference workload and report completion time and
+//! whether the mode engaged.
+
+use dualpar_bench::experiments::run_mpiio_pair;
+use dualpar_bench::{paper_cluster, print_table, save_json};
+use dualpar_cluster::IoStrategy;
+use dualpar_disk::IoKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    t_improvement: f64,
+    io_ratio_threshold: f64,
+    makespan_secs: f64,
+    switched: bool,
+    phases: u64,
+}
+
+fn main() {
+    let file: u64 = 192 << 20;
+    let mut rows = Vec::new();
+    for &t_imp in &[1.0, 2.0, 3.0, 5.0, 10.0] {
+        for &io_thr in &[0.5, 0.8, 0.9] {
+            let mut cfg = paper_cluster();
+            cfg.dualpar.t_improvement = t_imp;
+            cfg.dualpar.io_ratio_threshold = io_thr;
+            let (r, _) = run_mpiio_pair(cfg, IoStrategy::DualPar, IoKind::Read, file);
+            rows.push(Row {
+                t_improvement: t_imp,
+                io_ratio_threshold: io_thr,
+                makespan_secs: r.sim_end.as_secs_f64(),
+                switched: !r.mode_events.is_empty(),
+                phases: r.programs.iter().map(|p| p.phases).sum(),
+            });
+        }
+    }
+    print_table(
+        "Ablation: EMC thresholds (2 concurrent mpi-io-test, adaptive)",
+        &["T_improvement", "io-ratio thr", "makespan (s)", "switched", "phases"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}", r.t_improvement),
+                    format!("{:.2}", r.io_ratio_threshold),
+                    format!("{:.1}", r.makespan_secs),
+                    r.switched.to_string(),
+                    r.phases.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    save_json("ablation_thresholds", &rows);
+}

@@ -1,0 +1,89 @@
+//! Figure 3 — single-application I/O throughput under vanilla MPI-IO,
+//! collective I/O and DualPar, for reads (a) and writes (b), over
+//! mpi-io-test (sequential), noncontig (interleaved tiny), and ior-mpi-io
+//! (per-process sequential, random to the storage).
+//!
+//! Paper shape (read): mpi-io-test 115/117/263 MB/s; noncontig: DualPar
+//! +57% over collective; ior-mpi-io: collective ≈ vanilla, DualPar well
+//! ahead. Writes show the same ordering with lower absolute numbers.
+
+use dualpar_bench::experiments::{run_ior, run_mpi_io_test, run_noncontig};
+use dualpar_bench::{paper_cluster, print_table, save_json};
+use dualpar_cluster::IoStrategy;
+use dualpar_disk::IoKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    kind: String,
+    vanilla_mbps: f64,
+    collective_mbps: f64,
+    dualpar_mbps: f64,
+}
+
+fn main() {
+    let strategies = [
+        IoStrategy::Vanilla,
+        IoStrategy::Collective,
+        IoStrategy::DualParForced,
+    ];
+    let mut rows = Vec::new();
+    for kind in [IoKind::Read, IoKind::Write] {
+        let kind_label = if kind == IoKind::Read { "read" } else { "write" };
+        // mpi-io-test: 1 GB, 16 KB requests, 64 procs.
+        let mut thr = [0.0; 3];
+        for (i, &s) in strategies.iter().enumerate() {
+            let (r, _) = run_mpi_io_test(paper_cluster(), s, kind, 64, 1 << 30);
+            thr[i] = r.programs[0].throughput_mbps();
+        }
+        rows.push(Row {
+            benchmark: "mpi-io-test".into(),
+            kind: kind_label.into(),
+            vanilla_mbps: thr[0],
+            collective_mbps: thr[1],
+            dualpar_mbps: thr[2],
+        });
+        // noncontig: 64 procs, 512 B cells, 16384 rows = 512 MB.
+        for (i, &s) in strategies.iter().enumerate() {
+            let (r, _) = run_noncontig(paper_cluster(), s, kind, 64, 16384);
+            thr[i] = r.programs[0].throughput_mbps();
+        }
+        rows.push(Row {
+            benchmark: "noncontig".into(),
+            kind: kind_label.into(),
+            vanilla_mbps: thr[0],
+            collective_mbps: thr[1],
+            dualpar_mbps: thr[2],
+        });
+        // ior-mpi-io: 4 GB file (scaled from 16 GB), 32 KB requests.
+        for (i, &s) in strategies.iter().enumerate() {
+            let (r, _) = run_ior(paper_cluster(), s, kind, 64, 4 << 30);
+            thr[i] = r.programs[0].throughput_mbps();
+        }
+        rows.push(Row {
+            benchmark: "ior-mpi-io".into(),
+            kind: kind_label.into(),
+            vanilla_mbps: thr[0],
+            collective_mbps: thr[1],
+            dualpar_mbps: thr[2],
+        });
+    }
+    print_table(
+        "Fig. 3: single-application system I/O throughput (MB/s)",
+        &["benchmark", "kind", "vanilla", "collective", "DualPar"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.benchmark.clone(),
+                    r.kind.clone(),
+                    format!("{:.0}", r.vanilla_mbps),
+                    format!("{:.0}", r.collective_mbps),
+                    format!("{:.0}", r.dualpar_mbps),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    save_json("fig3_single_app", &rows);
+}

@@ -1,0 +1,44 @@
+//! Figure 8 — BTIO throughput vs per-process cache quota (0 KB disables
+//! DualPar; 64 KB already buys a ~40× jump because BTIO's raw requests are
+//! tiny; returns diminish beyond a few hundred KB).
+
+use dualpar_bench::experiments::run_btio_cache_size;
+use dualpar_bench::{paper_cluster, print_table, save_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    cache_kb: u64,
+    throughput_mbps: f64,
+    phases: u64,
+}
+
+fn main() {
+    let dataset: u64 = 24 << 20;
+    let mut rows = Vec::new();
+    for cache_kb in [0u64, 64, 128, 256, 512, 1024] {
+        let (r, _) = run_btio_cache_size(paper_cluster(), cache_kb * 1024, 64, dataset);
+        rows.push(Row {
+            cache_kb,
+            throughput_mbps: r.programs[0].throughput_mbps(),
+            phases: r.programs[0].phases,
+        });
+    }
+    let base = rows[0].throughput_mbps;
+    print_table(
+        "Fig. 8: BTIO throughput vs per-process cache size",
+        &["cache (KB)", "MB/s", "speedup", "phases"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.cache_kb.to_string(),
+                    format!("{:.2}", r.throughput_mbps),
+                    format!("{:.0}x", r.throughput_mbps / base),
+                    r.phases.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    save_json("fig8_cache_size", &rows);
+}

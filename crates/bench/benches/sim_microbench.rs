@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: the event
+//! queue, the CFQ scheduler, the CRM request algebra, and a complete small
+//! cluster run (events per second end to end).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dualpar_bench::small_cluster;
+use dualpar_cluster::{Cluster, IoStrategy, ProgramSpec};
+use dualpar_disk::{CfqConfig, CfqScheduler, Decision, DiskRequest, IoCtx, IoKind, Scheduler};
+use dualpar_mpiio::build_batch;
+use dualpar_pfs::{FileId, FileRegion};
+use dualpar_sim::{EventQueue, SimTime};
+use dualpar_workloads::MpiIoTest;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule(SimTime(i.wrapping_mul(2654435761) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cfq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cfq");
+    let n = 4_096u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("enqueue_drain_4k", |b| {
+        b.iter_batched(
+            || {
+                let mut s = CfqScheduler::new(CfqConfig::default());
+                for i in 0..n {
+                    s.enqueue(DiskRequest::new(
+                        i,
+                        IoCtx((i % 8) as u32),
+                        IoKind::Read,
+                        (i.wrapping_mul(48271) % 100_000) * 64,
+                        32,
+                        SimTime::ZERO,
+                    ));
+                }
+                s
+            },
+            |mut s| {
+                let mut now = SimTime::ZERO;
+                let mut head = 0;
+                loop {
+                    match s.decide(now, head) {
+                        Decision::Dispatch(r) => head = r.end(),
+                        Decision::IdleUntil(t) => now = t,
+                        Decision::Empty => break,
+                    }
+                }
+                black_box(head)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_batch_algebra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crm_algebra");
+    let n = 100_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+    let items: Vec<(FileId, FileRegion)> = (0..n)
+        .map(|i| {
+            let off = ((i as u64).wrapping_mul(2654435761)) % (1 << 30);
+            (FileId(1 + (i % 3) as u32), FileRegion::new(off, 4096))
+        })
+        .collect();
+    g.bench_function("build_batch_100k", |b| {
+        b.iter(|| black_box(build_batch(items.clone(), 64 * 1024)))
+    });
+    g.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+    g.bench_function("mpiio_8mb_dualpar", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(small_cluster());
+            let w = MpiIoTest {
+                nprocs: 8,
+                file_size: 8 << 20,
+                ..Default::default()
+            };
+            let f = cluster.create_file("x", w.file_size);
+            cluster.add_program(ProgramSpec::new(w.build(f), IoStrategy::DualParForced));
+            black_box(cluster.run().events_processed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cfq,
+    bench_batch_algebra,
+    bench_full_run
+);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! `dualpar` — run a simulated experiment from a JSON specification.
+//!
+//! ```sh
+//! cargo run --release -p dualpar-bench --bin dualpar -- experiment.json
+//! cargo run --release -p dualpar-bench --bin dualpar -- --example > spec.json
+//! ```
+//!
+//! A specification names the cluster configuration (all fields optional —
+//! defaults are the paper's platform) and a list of programs, each a
+//! workload from the benchmark suite plus an I/O strategy and start time:
+//!
+//! ```json
+//! {
+//!   "cluster": { "num_data_servers": 9 },
+//!   "programs": [
+//!     { "workload": { "mpi_io_test": { "nprocs": 64, "file_size": 268435456 } },
+//!       "strategy": "DualPar", "start_secs": 0.0 }
+//!   ]
+//! }
+//! ```
+
+use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
+use dualpar_sim::SimTime;
+use dualpar_workloads::{Btio, Demo, DependentReader, Hpio, IorMpiIo, MpiIoTest, Noncontig, S3asim, TraceReplay};
+use serde::{Deserialize, Serialize};
+
+/// A workload choice, tagged by benchmark name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WorkloadSpec {
+    MpiIoTest(MpiIoTest),
+    Hpio(Hpio),
+    IorMpiIo(IorMpiIo),
+    Noncontig(Noncontig),
+    S3asim(S3asim),
+    Btio(Btio),
+    Demo(Demo),
+    DependentReader(DependentReader),
+    TraceReplay(TraceReplay),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgramEntry {
+    pub workload: WorkloadSpec,
+    pub strategy: IoStrategy,
+    #[serde(default)]
+    pub start_secs: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    #[serde(default)]
+    pub cluster: ClusterConfig,
+    pub programs: Vec<ProgramEntry>,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            cluster: ClusterConfig::default(),
+            programs: vec![ProgramEntry {
+                workload: WorkloadSpec::MpiIoTest(MpiIoTest {
+                    file_size: 256 << 20,
+                    ..Default::default()
+                }),
+                strategy: IoStrategy::DualPar,
+                start_secs: 0.0,
+            }],
+        }
+    }
+}
+
+fn add_workload(cluster: &mut Cluster, idx: usize, entry: &ProgramEntry) {
+    let script = match &entry.workload {
+        WorkloadSpec::MpiIoTest(w) => {
+            let f = cluster.create_file(&format!("mpiio-{idx}"), w.file_size);
+            w.build(f)
+        }
+        WorkloadSpec::Hpio(w) => {
+            let f = cluster.create_file(&format!("hpio-{idx}"), w.file_size());
+            w.build(f)
+        }
+        WorkloadSpec::IorMpiIo(w) => {
+            let f = cluster.create_file(&format!("ior-{idx}"), w.file_size);
+            w.build(f)
+        }
+        WorkloadSpec::Noncontig(w) => {
+            let f = cluster.create_file(&format!("noncontig-{idx}"), w.file_size());
+            w.build(f)
+        }
+        WorkloadSpec::S3asim(w) => {
+            let db = cluster.create_file(&format!("s3db-{idx}"), w.db_size);
+            let res = cluster.create_file(&format!("s3res-{idx}"), w.result_size);
+            w.build(db, res)
+        }
+        WorkloadSpec::Btio(w) => {
+            let f = cluster.create_file(&format!("btio-{idx}"), w.file_size());
+            w.build(f)
+        }
+        WorkloadSpec::Demo(w) => {
+            let f = cluster.create_file(&format!("demo-{idx}"), w.file_size);
+            w.build(f)
+        }
+        WorkloadSpec::DependentReader(w) => {
+            let f = cluster.create_file(&format!("dep-{idx}"), w.file_size());
+            w.build(f)
+        }
+        WorkloadSpec::TraceReplay(w) => {
+            let files: Vec<_> = w
+                .required_file_sizes()
+                .iter()
+                .enumerate()
+                .map(|(i, &sz)| cluster.create_file(&format!("trace-{idx}-{i}"), sz.max(1)))
+                .collect();
+            w.build(&files)
+        }
+    };
+    cluster.add_program(
+        ProgramSpec::new(script, entry.strategy)
+            .starting_at(SimTime::from_secs_f64(entry.start_secs)),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--example") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&ExperimentSpec::default()).expect("serialise")
+        );
+        return;
+    }
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: dualpar <spec.json>   (or --example to print a template)");
+        std::process::exit(2);
+    };
+    let data = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let spec: ExperimentSpec = serde_json::from_str(&data).unwrap_or_else(|e| {
+        eprintln!("invalid spec: {e}");
+        std::process::exit(1);
+    });
+    if spec.programs.is_empty() {
+        eprintln!("spec has no programs");
+        std::process::exit(1);
+    }
+    let mut cluster = Cluster::new(spec.cluster.clone());
+    for (i, entry) in spec.programs.iter().enumerate() {
+        add_workload(&mut cluster, i, entry);
+    }
+    let report = cluster.run();
+    eprintln!(
+        "{:<14} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "program", "MB/s", "read MB", "write MB", "time s", "phases"
+    );
+    for p in &report.programs {
+        eprintln!(
+            "{:<14} {:>10.1} {:>10.1} {:>10.1} {:>8.2} {:>8}",
+            p.name,
+            p.throughput_mbps(),
+            p.bytes_read as f64 / 1e6,
+            p.bytes_written as f64 / 1e6,
+            p.elapsed().as_secs_f64(),
+            p.phases,
+        );
+    }
+    eprintln!(
+        "aggregate {:.1} MB/s over {:.2} s; {} events",
+        report.aggregate_throughput_mbps(),
+        report.sim_end.as_secs_f64(),
+        report.events_processed
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("serialise report")
+    );
+}

@@ -1,0 +1,396 @@
+//! Shared experiment runners used by the figure/table harnesses and the
+//! examples. Each returns the [`RunReport`] and the [`Cluster`] (for trace
+//! inspection) after running to completion.
+
+use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec, RunReport};
+use dualpar_disk::IoKind;
+use dualpar_sim::{SimDuration, SimTime};
+use dualpar_workloads::{
+    compute_for_io_ratio, Btio, Demo, DependentReader, Hpio, IorMpiIo, MpiIoTest, Noncontig,
+    S3asim,
+};
+use serde::Serialize;
+
+/// Summary row shared by most harnesses.
+#[derive(Debug, Clone, Serialize)]
+pub struct StrategyResult {
+    pub strategy: String,
+    pub throughput_mbps: f64,
+    pub elapsed_secs: f64,
+    pub io_time_secs: f64,
+    pub phases: u64,
+}
+
+pub fn summarize(report: &RunReport, program: usize, strategy: IoStrategy) -> StrategyResult {
+    let p = &report.programs[program];
+    StrategyResult {
+        strategy: strategy.label().to_string(),
+        throughput_mbps: p.throughput_mbps(),
+        elapsed_secs: p.elapsed().as_secs_f64(),
+        io_time_secs: p.mean_io_time_secs(),
+        phases: p.phases,
+    }
+}
+
+/// Whether a strategy's scripts should mark I/O calls collective.
+fn coll(strategy: IoStrategy) -> bool {
+    strategy == IoStrategy::Collective
+}
+
+/// §II `demo`: 8 processes reading a file front-to-back with a vector
+/// datatype; compute per call tuned for the requested I/O ratio.
+/// Measure the vanilla per-call I/O time for a demo configuration by
+/// running a compute-free pilot — the paper's I/O ratio is defined against
+/// "the vanilla system", so the compute injected for a target ratio must be
+/// calibrated against what vanilla actually does at this segment size.
+pub fn demo_vanilla_io_per_call(cfg: &ClusterConfig, segment_size: u64, file_size: u64) -> SimDuration {
+    let pilot_size = file_size.min(32 << 20);
+    let mut c = Cluster::new(cfg.clone());
+    let w = Demo {
+        segment_size,
+        file_size: pilot_size,
+        ..Default::default()
+    };
+    let calls = (pilot_size / (w.segs_per_call * w.nprocs as u64 * segment_size)).max(1);
+    let f = c.create_file("demo-pilot", w.file_size);
+    c.add_program(ProgramSpec::new(w.build(f), IoStrategy::Vanilla));
+    let r = c.run();
+    SimDuration::from_secs_f64(r.programs[0].elapsed().as_secs_f64() / calls as f64)
+}
+
+pub fn run_demo(
+    cfg: ClusterConfig,
+    strategy: IoStrategy,
+    io_ratio: f64,
+    segment_size: u64,
+    file_size: u64,
+) -> (RunReport, Cluster) {
+    let est_io = demo_vanilla_io_per_call(&cfg, segment_size, file_size);
+    let mut c = Cluster::new(cfg);
+    let w = Demo {
+        segment_size,
+        file_size,
+        compute_per_call: compute_for_io_ratio(est_io, io_ratio),
+        collective: coll(strategy),
+        ..Default::default()
+    };
+    let f = c.create_file("demo", w.file_size);
+    c.add_program(ProgramSpec::new(w.build(f), strategy));
+    let r = c.run();
+    (r, c)
+}
+
+/// §V-B `mpi-io-test`, single instance.
+pub fn run_mpi_io_test(
+    cfg: ClusterConfig,
+    strategy: IoStrategy,
+    kind: IoKind,
+    nprocs: usize,
+    file_size: u64,
+) -> (RunReport, Cluster) {
+    let mut c = Cluster::new(cfg);
+    let w = MpiIoTest {
+        nprocs,
+        file_size,
+        kind,
+        collective: coll(strategy),
+        barrier_every: 8,
+        ..Default::default()
+    };
+    let f = c.create_file("mpiio", w.file_size);
+    c.add_program(ProgramSpec::new(w.build(f), strategy));
+    let r = c.run();
+    (r, c)
+}
+
+/// §V-B `noncontig`, single instance.
+pub fn run_noncontig(
+    cfg: ClusterConfig,
+    strategy: IoStrategy,
+    kind: IoKind,
+    nprocs: usize,
+    rows: u64,
+) -> (RunReport, Cluster) {
+    let mut c = Cluster::new(cfg);
+    let w = Noncontig {
+        nprocs,
+        rows,
+        kind,
+        collective: coll(strategy),
+        ..Default::default()
+    };
+    let f = c.create_file("noncontig", w.file_size());
+    c.add_program(ProgramSpec::new(w.build(f), strategy));
+    let r = c.run();
+    (r, c)
+}
+
+/// §V-A `hpio`, single instance: 32 KB regions separated by 1 KB spacing.
+pub fn run_hpio(
+    cfg: ClusterConfig,
+    strategy: IoStrategy,
+    kind: IoKind,
+    nprocs: usize,
+    region_count: u64,
+) -> (RunReport, Cluster) {
+    let mut c = Cluster::new(cfg);
+    let w = Hpio {
+        nprocs,
+        region_count,
+        kind,
+        collective: coll(strategy),
+        ..Default::default()
+    };
+    let f = c.create_file("hpio", w.file_size());
+    c.add_program(ProgramSpec::new(w.build(f), strategy));
+    let r = c.run();
+    (r, c)
+}
+
+/// §V-B `ior-mpi-io`, single instance.
+pub fn run_ior(
+    cfg: ClusterConfig,
+    strategy: IoStrategy,
+    kind: IoKind,
+    nprocs: usize,
+    file_size: u64,
+) -> (RunReport, Cluster) {
+    let mut c = Cluster::new(cfg);
+    let w = IorMpiIo {
+        nprocs,
+        file_size,
+        kind,
+        collective: coll(strategy),
+        ..Default::default()
+    };
+    let f = c.create_file("ior", w.file_size);
+    c.add_program(ProgramSpec::new(w.build(f), strategy));
+    let r = c.run();
+    (r, c)
+}
+
+/// §V-C three concurrent BTIO instances at a given process count.
+pub fn run_btio_concurrent(
+    cfg: ClusterConfig,
+    strategy: IoStrategy,
+    nprocs: usize,
+    dataset: u64,
+    instances: usize,
+) -> (RunReport, Cluster) {
+    let mut c = Cluster::new(cfg);
+    for i in 0..instances {
+        let w = Btio {
+            nprocs,
+            dataset,
+            collective: coll(strategy),
+            ..Default::default()
+        };
+        let f = c.create_file(&format!("btio{i}"), w.file_size());
+        let mut script = w.build(f);
+        script.name = format!("btio{i}");
+        c.add_program(ProgramSpec::new(script, strategy));
+    }
+    let r = c.run();
+    (r, c)
+}
+
+/// §V-C three concurrent S3asim instances with a query count.
+pub fn run_s3asim_concurrent(
+    cfg: ClusterConfig,
+    strategy: IoStrategy,
+    queries: u64,
+    db_size: u64,
+    instances: usize,
+) -> (RunReport, Cluster) {
+    let mut c = Cluster::new(cfg);
+    for i in 0..instances {
+        let w = S3asim {
+            queries,
+            db_size,
+            result_size: db_size / 4,
+            collective: coll(strategy),
+            seed: 7 + i as u64,
+            ..Default::default()
+        };
+        let db = c.create_file(&format!("s3db{i}"), w.db_size);
+        let res = c.create_file(&format!("s3res{i}"), w.result_size);
+        let mut script = w.build(db, res);
+        script.name = format!("s3asim{i}");
+        c.add_program(ProgramSpec::new(script, strategy));
+    }
+    let r = c.run();
+    (r, c)
+}
+
+/// §V-C two concurrent mpi-io-test instances (Table II / Fig. 6).
+pub fn run_mpiio_pair(
+    cfg: ClusterConfig,
+    strategy: IoStrategy,
+    kind: IoKind,
+    file_size: u64,
+) -> (RunReport, Cluster) {
+    let mut c = Cluster::new(cfg);
+    for i in 0..2 {
+        let w = MpiIoTest {
+            nprocs: 16,
+            file_size,
+            kind,
+            collective: coll(strategy),
+            barrier_every: 8,
+            ..Default::default()
+        };
+        let f = c.create_file(&format!("pair{i}"), w.file_size);
+        let mut script = w.build(f);
+        script.name = format!("inst{i}");
+        c.add_program(ProgramSpec::new(script, strategy));
+    }
+    let r = c.run();
+    (r, c)
+}
+
+/// §V-D varying workload: mpi-io-test from t=0, hpio joining later
+/// (Fig. 7). `use_dualpar` selects adaptive DualPar vs vanilla.
+pub fn run_varying_workload(
+    cfg: ClusterConfig,
+    use_dualpar: bool,
+    join_at: SimTime,
+    mpiio_size: u64,
+) -> (RunReport, Cluster) {
+    let strategy = if use_dualpar {
+        IoStrategy::DualPar
+    } else {
+        IoStrategy::Vanilla
+    };
+    let mut c = Cluster::new(cfg);
+    let w1 = MpiIoTest {
+        nprocs: 16,
+        file_size: mpiio_size,
+        barrier_every: 8,
+        ..Default::default()
+    };
+    let f1 = c.create_file("stream", w1.file_size);
+    c.add_program(ProgramSpec::new(w1.build(f1), strategy));
+    let w2 = Hpio {
+        nprocs: 16,
+        // Size hpio to roughly half the stream so the overlap window is
+        // long enough for EMC to react and the effect to be visible.
+        region_count: (mpiio_size / (33 * 1024) / 16 / 2).max(64),
+        ..Default::default()
+    };
+    let f2 = c.create_file("hpio", w2.file_size());
+    let mut script = w2.build(f2);
+    script.name = "hpio".into();
+    c.add_program(ProgramSpec::new(script, strategy).starting_at(join_at));
+    let r = c.run();
+    (r, c)
+}
+
+/// §V-E BTIO with a given per-process cache quota (Fig. 8). Quota 0 means
+/// DualPar disabled (vanilla execution).
+pub fn run_btio_cache_size(
+    mut cfg: ClusterConfig,
+    quota: u64,
+    nprocs: usize,
+    dataset: u64,
+) -> (RunReport, Cluster) {
+    let strategy = if quota == 0 {
+        IoStrategy::Vanilla
+    } else {
+        cfg.dualpar.cache_quota = quota;
+        IoStrategy::DualParForced
+    };
+    let mut c = Cluster::new(cfg);
+    let w = Btio {
+        nprocs,
+        dataset,
+        ..Default::default()
+    };
+    let f = c.create_file("btio", w.file_size());
+    c.add_program(ProgramSpec::new(w.build(f), strategy));
+    let r = c.run();
+    (r, c)
+}
+
+/// §V-F the data-dependent reader (Table III), with or without DualPar, at
+/// a given cache quota.
+pub fn run_dependent(
+    mut cfg: ClusterConfig,
+    with_dualpar: bool,
+    quota: u64,
+    total_bytes: u64,
+) -> (RunReport, Cluster) {
+    let strategy = if with_dualpar {
+        cfg.dualpar.cache_quota = quota;
+        IoStrategy::DualPar
+    } else {
+        IoStrategy::Vanilla
+    };
+    let mut c = Cluster::new(cfg);
+    let w = DependentReader {
+        nprocs: 16,
+        total_bytes,
+        ..Default::default()
+    };
+    let f = c.create_file("dep", w.file_size());
+    c.add_program(ProgramSpec::new(w.build(f), strategy));
+    let r = c.run();
+    (r, c)
+}
+
+/// Table III extension: the dependent reader with partial ghost accuracy,
+/// under adaptive DualPar with paper-default thresholds.
+pub fn run_dependent_predictable(
+    cfg: ClusterConfig,
+    predictability: f64,
+    total_bytes: u64,
+) -> (RunReport, Cluster) {
+    let mut c = Cluster::new(cfg);
+    let w = DependentReader {
+        nprocs: 16,
+        total_bytes,
+        predictability,
+        ..Default::default()
+    };
+    let f = c.create_file("dep", w.file_size());
+    c.add_program(ProgramSpec::new(w.build(f), IoStrategy::DualPar));
+    let r = c.run();
+    (r, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::small_cluster;
+
+    #[test]
+    fn demo_runner_produces_report() {
+        let (r, _) = run_demo(
+            small_cluster(),
+            IoStrategy::Vanilla,
+            1.0,
+            16 * 1024,
+            4 << 20,
+        );
+        assert_eq!(r.programs[0].bytes_read, 4 << 20);
+    }
+
+    #[test]
+    fn pair_runner_runs_two_instances() {
+        let (r, _) = run_mpiio_pair(
+            small_cluster(),
+            IoStrategy::Vanilla,
+            IoKind::Read,
+            4 << 20,
+        );
+        assert_eq!(r.programs.len(), 2);
+        assert!(r.aggregate_throughput_mbps() > 0.0);
+    }
+
+    #[test]
+    fn cache_size_zero_means_vanilla() {
+        let (r, _) = run_btio_cache_size(small_cluster(), 0, 4, 1 << 20);
+        assert_eq!(r.programs[0].phases, 0);
+        let (r2, _) = run_btio_cache_size(small_cluster(), 64 * 1024, 4, 1 << 20);
+        assert!(r2.programs[0].phases > 0);
+    }
+}

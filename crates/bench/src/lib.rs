@@ -1,0 +1,147 @@
+//! # dualpar-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation (see DESIGN.md §5 for the index), plus ablation
+//! benches for the design choices and criterion micro-benchmarks of the
+//! simulator itself.
+//!
+//! Each harness is a `harness = false` bench target: it runs the relevant
+//! simulations, prints the paper-style rows, and writes machine-readable
+//! JSON under `bench_results/`.
+
+use dualpar_cluster::{Cluster, ClusterConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+
+pub mod experiments;
+
+/// The paper's platform scaled for simulation: nine data servers (as on
+/// Darwin), four compute nodes, 64 KB striping, CFQ, GigE.
+pub fn paper_cluster() -> ClusterConfig {
+    ClusterConfig::default()
+}
+
+/// A smaller cluster for quick sanity runs.
+pub fn small_cluster() -> ClusterConfig {
+    ClusterConfig {
+        num_data_servers: 3,
+        num_compute_nodes: 2,
+        ..ClusterConfig::default()
+    }
+}
+
+pub fn cluster(cfg: ClusterConfig) -> Cluster {
+    Cluster::new(cfg)
+}
+
+/// Directory where harnesses drop their JSON results.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → ../../bench_results
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("bench_results");
+    std::fs::create_dir_all(&p).expect("create bench_results/");
+    p
+}
+
+/// Persist a harness's structured output.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let data = serde_json::to_string_pretty(value).expect("serialise results");
+    std::fs::write(&path, data).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    println!("\n[saved {}]", path.display());
+}
+
+/// Emit a gnuplot script plus `.dat` files for an x/y plot with one or
+/// more series. Render with `gnuplot bench_results/<name>.gp` (produces
+/// `<name>.png`). Points are plotted as dots for scatter-style figures
+/// (the paper's LBN traces) and connected when `lines` is true.
+pub fn save_gnuplot(
+    name: &str,
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    lines: bool,
+    series: &[(&str, Vec<(f64, f64)>)],
+) {
+    let dir = results_dir();
+    let mut plot_clauses = Vec::new();
+    for (label, points) in series {
+        let slug: String = label
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let dat = dir.join(format!("{name}_{slug}.dat"));
+        let mut body = String::new();
+        for (x, y) in points {
+            body.push_str(&format!("{x} {y}\n"));
+        }
+        std::fs::write(&dat, body).unwrap_or_else(|e| panic!("write {dat:?}: {e}"));
+        let style = if lines { "with linespoints" } else { "with points pt 7 ps 0.3" };
+        plot_clauses.push(format!(
+            "'{}' {style} title '{label}'",
+            dat.file_name().unwrap().to_string_lossy()
+        ));
+    }
+    let gp = dir.join(format!("{name}.gp"));
+    let script = format!(
+        "set terminal pngcairo size 900,600\nset output '{name}.png'\nset title '{title}'\nset xlabel '{xlabel}'\nset ylabel '{ylabel}'\nset key outside\nplot {}\n",
+        plot_clauses.join(", \\\n     ")
+    );
+    std::fs::write(&gp, script).unwrap_or_else(|e| panic!("write {gp:?}: {e}"));
+    println!("[gnuplot {}]", gp.display());
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, |c| c.len()))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let line = |cells: Vec<String>| {
+        let cols: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", cols.join("  "));
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for r in rows {
+        line(r.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists() {
+        let d = results_dir();
+        assert!(d.ends_with("bench_results"));
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn save_and_read_json() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+        }
+        save_json("selftest", &T { x: 7 });
+        let data = std::fs::read_to_string(results_dir().join("selftest.json")).unwrap();
+        assert!(data.contains("\"x\": 7"));
+        let _ = std::fs::remove_file(results_dir().join("selftest.json"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the global cache: read-your-prefetch, quota
+//! consistency, and dirty-data conservation through drain.
+
+use dualpar_cache::{CacheConfig, GlobalCache, OwnerId};
+use dualpar_pfs::{FileId, FileRegion};
+use dualpar_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn cache() -> GlobalCache {
+    GlobalCache::new(CacheConfig {
+        chunk_size: 4096,
+        num_nodes: 4,
+        idle_ttl: SimDuration::from_secs(10),
+        node_capacity: u64::MAX,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Anything prefetched is readable in full (read-your-prefetch).
+    #[test]
+    fn read_your_prefetch(regions in proptest::collection::vec((0u64..100_000, 1u64..10_000), 1..40)) {
+        let mut c = cache();
+        for &(off, len) in &regions {
+            c.put_prefetch(OwnerId(1), FileId(1), FileRegion::new(off, len), SimTime::ZERO);
+        }
+        for &(off, len) in &regions {
+            let r = c.read(FileId(1), FileRegion::new(off, len), SimTime::ZERO);
+            prop_assert!(r.hit, "prefetched region {off}+{len} must hit");
+        }
+    }
+
+    /// Total usage across owners equals total present bytes, regardless of
+    /// the interleaving of prefetches and writes.
+    #[test]
+    fn usage_matches_present(
+        ops in proptest::collection::vec(
+            (0u64..4, 0u64..50_000, 1u64..5_000, any::<bool>()), 1..60)
+    ) {
+        let mut c = cache();
+        for &(owner, off, len, is_write) in &ops {
+            let region = FileRegion::new(off, len);
+            if is_write {
+                c.put_write(OwnerId(owner), FileId(1), region, SimTime::ZERO);
+            } else {
+                c.put_prefetch(OwnerId(owner), FileId(1), region, SimTime::ZERO);
+            }
+        }
+        let total_usage: u64 = (0..4).map(|o| c.usage(OwnerId(o))).sum();
+        prop_assert_eq!(total_usage, c.total_bytes());
+    }
+
+    /// Dirty bytes drained equal dirty bytes written (no loss, no
+    /// duplication), and the drained regions are sorted and disjoint.
+    #[test]
+    fn drain_conserves_dirty(
+        writes in proptest::collection::vec((0u64..100_000, 1u64..8_000), 1..40)
+    ) {
+        let mut c = cache();
+        let mut expect = dualpar_pfs::RangeSet::new();
+        for &(off, len) in &writes {
+            c.put_write(OwnerId(1), FileId(1), FileRegion::new(off, len), SimTime::ZERO);
+            expect.insert(off, len);
+        }
+        prop_assert_eq!(c.dirty_bytes(), expect.covered());
+        let drained = c.drain_dirty();
+        let mut got = dualpar_pfs::RangeSet::new();
+        let mut last_end = 0u64;
+        for (file, r) in &drained {
+            prop_assert_eq!(*file, FileId(1));
+            prop_assert!(r.offset >= last_end, "drained regions must be sorted/disjoint");
+            last_end = r.end();
+            got.insert(r.offset, r.len);
+        }
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(c.dirty_bytes(), 0);
+    }
+
+    /// Eviction never removes dirty data and usage never goes negative.
+    #[test]
+    fn eviction_safe(
+        ops in proptest::collection::vec((0u64..50_000, 1u64..4_000, any::<bool>()), 1..40),
+        evict_at in 0u64..100,
+    ) {
+        let mut c = cache();
+        for (i, &(off, len, is_write)) in ops.iter().enumerate() {
+            let t = SimTime::from_secs(i as u64 / 10);
+            if is_write {
+                c.put_write(OwnerId(1), FileId(1), FileRegion::new(off, len), t);
+            } else {
+                c.put_prefetch(OwnerId(1), FileId(1), FileRegion::new(off, len), t);
+            }
+        }
+        let dirty_before = c.dirty_bytes();
+        c.evict_idle(SimTime::from_secs(evict_at));
+        prop_assert_eq!(c.dirty_bytes(), dirty_before, "eviction must not lose dirty data");
+        prop_assert!(c.total_bytes() >= c.dirty_bytes());
+    }
+
+    /// Mis-prefetch ratio is always within [0, 1].
+    #[test]
+    fn misprefetch_ratio_bounded(
+        prefetches in proptest::collection::vec((0u64..50_000, 1u64..4_000), 1..20),
+        reads in proptest::collection::vec((0u64..50_000, 1u64..4_000), 0..20),
+    ) {
+        let mut c = cache();
+        for &(off, len) in &prefetches {
+            c.put_prefetch(OwnerId(1), FileId(1), FileRegion::new(off, len), SimTime::ZERO);
+        }
+        for &(off, len) in &reads {
+            c.read(FileId(1), FileRegion::new(off, len), SimTime::ZERO);
+        }
+        if let Some(ratio) = c.end_prefetch_epoch(OwnerId(1)) {
+            prop_assert!((0.0..=1.0).contains(&ratio), "ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,786 @@
+//! The cluster simulator: nodes, servers, network, disks, and the event
+//! loop. Strategy-specific op handling lives in `exec.rs` (vanilla,
+//! barriers, collective I/O) and `datadriven.rs` (DualPar phases and
+//! Strategy-2 prefetching).
+
+use crate::config::{ClusterConfig, CtxMode, IoStrategy, ProgramSpec, ServerWriteMode};
+use crate::metrics::{ModeEvent, ProgramReport, RunReport};
+use dualpar_cache::{CacheConfig, GlobalCache, NodeId, OwnerId};
+use dualpar_core::{DualParConfig, Emc, ExecMode, IoClock, ProgramId, ReqDistTracker};
+use dualpar_disk::{Disk, DiskRequest, IoCtx, IoKind, Lbn, StartOutcome};
+use dualpar_mpiio::{CoalescedIo, ProcessScript};
+use dualpar_pfs::{FileId, FileRegion, Pvfs};
+use dualpar_sim::{EventId, EventQueue, Link, SimDuration, SimTime, TimeSeries};
+use std::collections::{HashMap, HashSet};
+
+/// Safety valve: a single experiment should never need more events.
+const MAX_EVENTS: u64 = 2_000_000_000;
+
+/// Events driving the simulation.
+#[derive(Debug, Clone)]
+pub(crate) enum Ev {
+    /// A program begins.
+    Start(usize),
+    /// A process is ready to advance its script.
+    ProcReady(usize),
+    /// A request message arrived at a data server.
+    ServerRecv { server: u32, sub: SubReq },
+    /// Poke a disk (idle-anticipation timer expired).
+    DiskKick(u32),
+    /// A disk finished its in-flight request.
+    DiskDone(u32),
+    /// A response was delivered back; one sub-request of a group is done.
+    SubDone { group: u64 },
+    /// A ghost pre-execution finished its walk.
+    GhostDone { prog: usize, proc: usize },
+    /// A pre-execution phase hit its fill-time bound.
+    PhaseTimeout { prog: usize, seq: u64 },
+    /// EMC sampling slot boundary.
+    EmcTick,
+    /// A data server's write-back daemon flushes its dirty buffer.
+    ServerFlush(u32),
+}
+
+/// One disk-bound sub-request (a resolved LBN run on one server).
+#[derive(Debug, Clone)]
+pub(crate) struct SubReq {
+    pub id: u64,
+    pub lbn: Lbn,
+    pub sectors: u64,
+    pub kind: IoKind,
+    pub ctx: IoCtx,
+}
+
+/// Why a completion group exists — dispatched when its last sub-request
+/// finishes.
+#[derive(Debug, Clone)]
+pub(crate) enum Purpose {
+    /// One region of a vanilla (independent, synchronous) call.
+    VanillaRegion { proc: usize },
+    /// A Strategy-2 prefetch of a single predicted region.
+    S2Prefetch {
+        proc: usize,
+        file: FileId,
+        region: FileRegion,
+    },
+    /// Direct fetch issued after a mis-predicted region was detected.
+    DirectFetch { proc: usize },
+    /// All aggregator accesses of one collective call.
+    CollIo { prog: usize },
+    /// Collective shuffle phase finished (modelled as a delay event).
+    CollResume { prog: usize },
+    /// DualPar phase stages, in order.
+    PhaseFill { prog: usize },
+    PhaseWriteback { prog: usize },
+    PhasePrefetch { prog: usize },
+    /// Stand-alone write-back (program completion or mode revert).
+    FlushWriteback { prog: usize, finalize: bool },
+}
+
+#[derive(Debug)]
+pub(crate) struct Group {
+    pub remaining: usize,
+    pub purpose: Purpose,
+}
+
+/// Process execution state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PState {
+    /// Waiting for a scheduled ProcReady (computing, or newly started).
+    Computing,
+    /// Blocked on a vanilla I/O op; regions are issued one at a time.
+    VanillaIo { op: usize, next_region: usize },
+    BarrierWait(u64),
+    CollWait,
+    /// Suspended in a data-driven phase. `retry_op` says whether the
+    /// current op must be re-executed on resume (read miss) or was already
+    /// applied (write that filled the cache).
+    Suspended { retry_op: bool },
+    /// Strategy 2: waiting for in-flight prefetches covering the op.
+    S2Wait { op: usize },
+    Done,
+}
+
+pub(crate) struct Proc {
+    pub prog: usize,
+    pub rank: usize,
+    pub node: u32,
+    pub ctx: IoCtx,
+    pub script: ProcessScript,
+    pub pos: usize,
+    pub state: PState,
+    pub clock: IoClock,
+    /// When the current op (or suspension) began.
+    pub op_start: SimTime,
+    pub last_io_end: SimTime,
+    pub owner: OwnerId,
+    /// Ghost pre-execution resume point (never behind `pos`).
+    pub ghost_pos: usize,
+    /// Op index that already triggered a phase/prefetch: a second miss on
+    /// it falls back to a direct fetch (mis-prediction escape hatch).
+    pub miss_trigger_op: Option<usize>,
+    /// Bytes the ghost recorded in the current phase (resume accounting).
+    pub phase_bytes: u64,
+    /// Regions waited on under Strategy 2.
+    pub s2_waiting: HashSet<(u32, u64, u64)>,
+    /// Recorded-but-not-yet-issued Strategy-2 prefetches (async window).
+    pub s2_queue: std::collections::VecDeque<(FileId, FileRegion)>,
+    /// Prefetch requests currently outstanding at the servers.
+    pub s2_outstanding: usize,
+    /// Pending ghost recording (applied at GhostDone).
+    pub pending_ghost: Vec<(FileId, FileRegion)>,
+    /// Event id of the scheduled GhostDone (cancellable at phase timeout).
+    pub ghost_ev: Option<EventId>,
+    /// Covers being issued for the current vanilla op (after sieving).
+    pub cur_covers: Vec<FileRegion>,
+    /// Whether a direct-fetch group for the current op is outstanding.
+    pub direct_pending: bool,
+}
+
+/// Program-level phase of the data-driven machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Phase {
+    Normal,
+    /// Ghosts running; waiting for every live process to block and record.
+    PreExec { waiting_ghosts: usize },
+    /// Batch stages in flight.
+    Fill,
+    Writeback,
+    Prefetch,
+}
+
+pub(crate) struct CollectState {
+    pub arrived: Vec<Option<Vec<FileRegion>>>,
+    pub count: usize,
+    pub kind: Option<IoKind>,
+    pub file: Option<FileId>,
+}
+
+pub(crate) struct Program {
+    pub name: String,
+    pub strategy: IoStrategy,
+    pub procs: std::ops::Range<usize>,
+    pub files: HashSet<FileId>,
+    pub mode: ExecMode,
+    pub phase: Phase,
+    pub phase_seq: u64,
+    pub phase_timeout: Option<EventId>,
+    pub recordings: Vec<(OwnerId, FileId, FileRegion)>,
+    /// Writes planned for after the fill stage.
+    pub staged_writes: Vec<CoalescedIo>,
+    pub staged_prefetch: Vec<CoalescedIo>,
+    pub barrier_waits: HashMap<u64, Vec<usize>>,
+    pub coll: CollectState,
+    pub started: bool,
+    pub start: SimTime,
+    pub finish: Option<SimTime>,
+    pub done_procs: usize,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub io_time: SimDuration,
+    pub phases: u64,
+    pub mis_sum: f64,
+    pub mis_n: u64,
+    pub final_flush_pending: bool,
+    /// Exchange volume/messages of the collective call in flight.
+    pub coll_exchange: (u64, u64),
+}
+
+impl Program {
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+}
+
+/// The assembled cluster simulator.
+pub struct Cluster {
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) pvfs: Pvfs,
+    pub(crate) cache: GlobalCache,
+    pub(crate) emc: Emc,
+    pub(crate) disks: Vec<Disk>,
+    pub(crate) server_links: Vec<Link>,
+    pub(crate) node_links: Vec<Link>,
+    pub(crate) req_dist: Vec<ReqDistTracker>,
+    pub(crate) procs: Vec<Proc>,
+    pub(crate) programs: Vec<Program>,
+    pub(crate) groups: HashMap<u64, Group>,
+    pub(crate) next_group: u64,
+    pub(crate) req_info: HashMap<u64, (u64, u64)>, // sub id -> (group, resp_bytes)
+    pub(crate) next_req: u64,
+    pub(crate) s2_inflight: HashMap<(u32, u64, u64), Vec<usize>>,
+    /// Per-server buffered (acknowledged, unflushed) write requests, used
+    /// in the WriteBack server mode.
+    pub(crate) server_dirty: Vec<Vec<DiskRequest>>,
+    pub(crate) server_flush_scheduled: Vec<bool>,
+    pub(crate) rng: dualpar_sim::DetRng,
+    pub(crate) timeline: TimeSeries,
+    pub(crate) mode_events: Vec<ModeEvent>,
+    pub(crate) emc_improvement: Vec<(f64, f64)>,
+    pub(crate) events_processed: u64,
+    pub(crate) finished_programs: usize,
+    pub(crate) emc_active: bool,
+    pub(crate) next_ctx: u32,
+}
+
+impl Cluster {
+    /// Assemble a cluster from its configuration.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let pvfs = Pvfs::new(
+            cfg.num_data_servers,
+            cfg.stripe_size,
+            cfg.disk.capacity_sectors,
+            cfg.alloc.clone(),
+        );
+        let cache = GlobalCache::new(CacheConfig {
+            chunk_size: cfg.stripe_size,
+            num_nodes: cfg.num_compute_nodes,
+            idle_ttl: SimDuration::from_secs(30),
+            node_capacity: u64::MAX,
+        });
+        let emc = Emc::new(cfg.dualpar.clone());
+        let disks = (0..cfg.num_data_servers)
+            .map(|_| Disk::new(cfg.disk.clone(), cfg.scheduler, cfg.trace_disks))
+            .collect();
+        let server_links = (0..cfg.num_data_servers)
+            .map(|_| Link::new(cfg.net_latency, cfg.net_bandwidth))
+            .collect();
+        let node_links = (0..cfg.num_compute_nodes)
+            .map(|_| Link::new(cfg.net_latency, cfg.net_bandwidth))
+            .collect();
+        let req_dist = (0..cfg.num_compute_nodes)
+            .map(|_| ReqDistTracker::new())
+            .collect();
+        let rng = dualpar_sim::DetRng::for_stream(cfg.seed, "cluster");
+        let nservers = cfg.num_data_servers as usize;
+        Cluster {
+            cfg,
+            queue: EventQueue::new(),
+            rng,
+            pvfs,
+            cache,
+            emc,
+            disks,
+            server_links,
+            node_links,
+            req_dist,
+            procs: Vec::new(),
+            programs: Vec::new(),
+            groups: HashMap::new(),
+            next_group: 0,
+            req_info: HashMap::new(),
+            next_req: 0,
+            s2_inflight: HashMap::new(),
+            server_dirty: vec![Vec::new(); nservers],
+            server_flush_scheduled: vec![false; nservers],
+            timeline: TimeSeries::new(SimDuration::from_secs(1)),
+            mode_events: Vec::new(),
+            emc_improvement: Vec::new(),
+            events_processed: 0,
+            finished_programs: 0,
+            emc_active: false,
+            next_ctx: 1,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// DualPar's thresholds and quotas.
+    pub fn dualpar_config(&self) -> &DualParConfig {
+        &self.cfg.dualpar
+    }
+
+    /// Create a file in the parallel file system.
+    pub fn create_file(&mut self, name: &str, size: u64) -> FileId {
+        self.pvfs.create(name, size)
+    }
+
+    /// Register a program for execution. Returns its index.
+    pub fn add_program(&mut self, spec: ProgramSpec) -> usize {
+        assert!(
+            spec.script.barriers_consistent(),
+            "program {} has inconsistent barrier sequences",
+            spec.script.name
+        );
+        let idx = self.programs.len();
+        let nprocs = spec.script.nprocs();
+        let first_proc = self.procs.len();
+        let mut files = HashSet::new();
+        for (rank, script) in spec.script.ranks.iter().enumerate() {
+            for op in &script.ops {
+                if let dualpar_mpiio::Op::Io(call) = op {
+                    files.insert(call.file);
+                }
+            }
+            let node = (rank as u32) % self.cfg.num_compute_nodes;
+            let ctx = IoCtx(self.next_ctx);
+            self.next_ctx += 1;
+            self.procs.push(Proc {
+                prog: idx,
+                rank,
+                node,
+                ctx,
+                script: script.clone(),
+                pos: 0,
+                state: PState::Computing,
+                clock: IoClock::new(),
+                op_start: SimTime::ZERO,
+                last_io_end: SimTime::ZERO,
+                owner: OwnerId(((idx as u64) << 32) | rank as u64),
+                ghost_pos: 0,
+                miss_trigger_op: None,
+                phase_bytes: 0,
+                s2_waiting: HashSet::new(),
+                s2_queue: std::collections::VecDeque::new(),
+                s2_outstanding: 0,
+                pending_ghost: Vec::new(),
+                ghost_ev: None,
+                cur_covers: Vec::new(),
+                direct_pending: false,
+            });
+        }
+        for f in &files {
+            assert!(
+                self.pvfs.meta(*f).is_some(),
+                "program {} references file {f:?} that was never created",
+                spec.script.name
+            );
+        }
+        let mode = if spec.strategy == IoStrategy::DualParForced {
+            ExecMode::DataDriven
+        } else {
+            ExecMode::ComputationDriven
+        };
+        if spec.strategy == IoStrategy::DualPar {
+            self.emc.register(ProgramId(idx as u32));
+            self.emc_active = true;
+        }
+        self.programs.push(Program {
+            name: spec.script.name.clone(),
+            strategy: spec.strategy,
+            procs: first_proc..first_proc + nprocs,
+            files,
+            mode,
+            phase: Phase::Normal,
+            phase_seq: 0,
+            phase_timeout: None,
+            recordings: Vec::new(),
+            staged_writes: Vec::new(),
+            staged_prefetch: Vec::new(),
+            barrier_waits: HashMap::new(),
+            coll: CollectState {
+                arrived: vec![None; nprocs],
+                count: 0,
+                kind: None,
+                file: None,
+            },
+            started: false,
+            start: spec.start_at,
+            finish: None,
+            done_procs: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            io_time: SimDuration::ZERO,
+            phases: 0,
+            mis_sum: 0.0,
+            mis_n: 0,
+            final_flush_pending: false,
+            coll_exchange: (0, 0),
+        });
+        self.queue.schedule(spec.start_at, Ev::Start(idx));
+        idx
+    }
+
+    /// Access a server's disk (for trace inspection after a run).
+    pub fn disk(&self, server: u32) -> &Disk {
+        &self.disks[server as usize]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    // ----- network + disk plumbing ------------------------------------
+
+    /// Translate a fine-grained issuing identity into the disk-scheduler
+    /// context the data server's kernel would actually see.
+    pub(crate) fn effective_ctx(&self, prog: usize, fine: IoCtx) -> IoCtx {
+        match self.cfg.ctx_mode {
+            CtxMode::PerServer => IoCtx(0),
+            CtxMode::PerClient => fine,
+            CtxMode::PerProgram => IoCtx(prog as u32 + 1),
+        }
+    }
+
+
+    /// Time to move the listed `(home, bytes)` chunks between this compute
+    /// node and the cache. Accesses are batched per home node (a Memcached
+    /// multi-get/multi-set): one round trip per distinct remote node plus
+    /// the transfer volume, memory-copy cost for local chunks.
+    pub(crate) fn cache_access_time(&self, node: u32, homes: &[(NodeId, u64)]) -> SimDuration {
+        let mut t = SimDuration::from_micros(1);
+        let mut local = 0u64;
+        let mut remote: HashMap<u32, u64> = HashMap::new();
+        for &(home, bytes) in homes {
+            if home.0 == node {
+                local += bytes;
+            } else {
+                *remote.entry(home.0).or_insert(0) += bytes;
+            }
+        }
+        t += SimDuration::for_transfer(local, self.cfg.mem_bandwidth);
+        for (_, bytes) in remote {
+            t += self.cfg.net_latency + SimDuration::for_transfer(bytes, self.cfg.net_bandwidth);
+        }
+        t
+    }
+
+    /// Allocate a completion group.
+    pub(crate) fn new_group(&mut self, purpose: Purpose) -> u64 {
+        let id = self.next_group;
+        self.next_group += 1;
+        self.groups.insert(id, Group { remaining: 0, purpose });
+        id
+    }
+
+    /// Issue the accesses of `ios` (already coalesced covers) to the data
+    /// servers, attached to `group`. Requests leave through `node`'s NIC
+    /// with context `ctx`. Returns the number of sub-requests issued.
+    pub(crate) fn issue_covers(
+        &mut self,
+        now: SimTime,
+        group: u64,
+        node: u32,
+        ctx: IoCtx,
+        kind: IoKind,
+        ios: &[(FileId, FileRegion)],
+    ) -> usize {
+        let mut subs = Vec::new();
+        for &(file, region) in ios {
+            for run in self.pvfs.resolve(file, region) {
+                subs.push((run.server, run.lbn, run.sectors, run.bytes));
+            }
+        }
+        let n = subs.len();
+        self.groups.get_mut(&group).expect("group exists").remaining += n;
+        for (server, lbn, sectors, bytes) in subs {
+            let id = self.next_req;
+            self.next_req += 1;
+            let (req_msg, resp_bytes) = match kind {
+                IoKind::Read => (self.cfg.msg_header, bytes),
+                IoKind::Write => (self.cfg.msg_header + bytes, 0),
+            };
+            self.req_info.insert(id, (group, resp_bytes));
+            let deliver = self.node_links[node as usize].send(now, req_msg);
+            self.queue.schedule(
+                deliver,
+                Ev::ServerRecv {
+                    server: server.0,
+                    sub: SubReq {
+                        id,
+                        lbn,
+                        sectors,
+                        kind,
+                        ctx,
+                    },
+                },
+            );
+        }
+        n
+    }
+
+    /// If the group is already complete (zero sub-requests), dispatch its
+    /// purpose immediately via a SubDone-like path.
+    pub(crate) fn finish_if_empty(&mut self, now: SimTime, group: u64) {
+        if self.groups.get(&group).is_some_and(|g| g.remaining == 0) {
+            let g = self.groups.remove(&group).expect("checked");
+            self.dispatch_group(now, g);
+        }
+    }
+
+    pub(crate) fn kick_disk(&mut self, now: SimTime, server: u32) {
+        match self.disks[server as usize].try_start(now) {
+            StartOutcome::Started { finish } => {
+                self.queue.schedule(finish, Ev::DiskDone(server));
+            }
+            StartOutcome::Idle { until } => {
+                self.queue.schedule(until, Ev::DiskKick(server));
+            }
+            StartOutcome::Quiescent => {}
+        }
+    }
+
+    // ----- the event loop ----------------------------------------------
+
+    /// Run until every program has finished. Returns the report.
+    pub fn run(&mut self) -> RunReport {
+        if self.emc_active {
+            let slot = self.cfg.dualpar.sample_slot;
+            self.queue.schedule(SimTime::ZERO + slot, Ev::EmcTick);
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            self.events_processed += 1;
+            assert!(
+                self.events_processed < MAX_EVENTS,
+                "event budget exceeded — runaway simulation"
+            );
+            self.handle(now, ev);
+            if self.finished_programs == self.programs.len() && !self.emc_active {
+                break;
+            }
+            if self.finished_programs == self.programs.len() {
+                // Only EMC ticks remain; stop.
+                break;
+            }
+        }
+        self.report()
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Start(prog) => self.on_start(now, prog),
+            Ev::ProcReady(p) => self.advance(now, p),
+            Ev::ServerRecv { server, sub } => {
+                let req = DiskRequest::new(sub.id, sub.ctx, sub.kind, sub.lbn, sub.sectors, now);
+                let buffer_write = sub.kind == IoKind::Write
+                    && self.cfg.server_write_mode == ServerWriteMode::WriteBack;
+                if buffer_write {
+                    // Acknowledge immediately; the flush daemon owns the
+                    // disk write from here.
+                    if let Some((group, resp_bytes)) = self.req_info.remove(&sub.id) {
+                        let deliver = self.server_links[server as usize]
+                            .send(now, self.cfg.msg_header + resp_bytes);
+                        self.queue.schedule(deliver, Ev::SubDone { group });
+                    }
+                    self.server_dirty[server as usize].push(req);
+                    if !self.server_flush_scheduled[server as usize] {
+                        self.server_flush_scheduled[server as usize] = true;
+                        self.queue.schedule(
+                            now + self.cfg.server_flush_interval,
+                            Ev::ServerFlush(server),
+                        );
+                    }
+                } else {
+                    self.disks[server as usize].enqueue(req);
+                    if !self.disks[server as usize].is_busy() {
+                        self.kick_disk(now, server);
+                    }
+                }
+            }
+            Ev::ServerFlush(server) => {
+                self.server_flush_scheduled[server as usize] = false;
+                let dirty = std::mem::take(&mut self.server_dirty[server as usize]);
+                if dirty.is_empty() {
+                    return;
+                }
+                // The flush daemon is one kernel context issuing in LBN
+                // order — pdflush behaviour.
+                let mut dirty = dirty;
+                dirty.sort_by_key(|r| r.lbn);
+                for mut r in dirty {
+                    // Flush writes carry the daemon's context.
+                    r.ctx = self.effective_ctx(0, IoCtx(0xFFFF_FFFF));
+                    self.disks[server as usize].enqueue(r);
+                }
+                if !self.disks[server as usize].is_busy() {
+                    self.kick_disk(now, server);
+                }
+                // The next timer is armed by the next write arrival.
+            }
+            Ev::DiskKick(server) => {
+                if !self.disks[server as usize].is_busy() {
+                    self.kick_disk(now, server);
+                }
+            }
+            Ev::DiskDone(server) => {
+                let req = self.disks[server as usize].complete();
+                for id in &req.merged {
+                    if let Some((group, resp_bytes)) = self.req_info.remove(id) {
+                        let deliver = self.server_links[server as usize]
+                            .send(now, self.cfg.msg_header + resp_bytes);
+                        self.queue.schedule(deliver, Ev::SubDone { group });
+                    }
+                }
+                self.kick_disk(now, server);
+            }
+            Ev::SubDone { group } => {
+                let done = {
+                    let g = self.groups.get_mut(&group).expect("live group");
+                    g.remaining -= 1;
+                    g.remaining == 0
+                };
+                if done {
+                    let g = self.groups.remove(&group).expect("checked");
+                    self.dispatch_group(now, g);
+                }
+            }
+            Ev::GhostDone { prog, proc } => self.on_ghost_done(now, prog, proc),
+            Ev::PhaseTimeout { prog, seq } => self.on_phase_timeout(now, prog, seq),
+            Ev::EmcTick => self.on_emc_tick(now),
+        }
+    }
+
+    fn on_start(&mut self, now: SimTime, prog: usize) {
+        let program = &mut self.programs[prog];
+        program.started = true;
+        program.start = now;
+        let range = program.procs.clone();
+        for p in range {
+            self.procs[p].op_start = now;
+            self.procs[p].last_io_end = now;
+            self.queue.schedule(now, Ev::ProcReady(p));
+        }
+    }
+
+    fn on_emc_tick(&mut self, now: SimTime) {
+        // Gather seek-distance samples from every data server.
+        for disk in &mut self.disks {
+            if let Some(avg) = disk.trace_mut().take_window_avg_seek() {
+                self.emc.report_seek_dist(avg);
+            }
+        }
+        // Request-distance samples from every compute node.
+        for tracker in &mut self.req_dist {
+            if let Some(avg) = tracker.take_avg_req_dist() {
+                self.emc.report_req_dist(avg);
+            }
+        }
+        // Per-program I/O ratios.
+        for (idx, program) in self.programs.iter().enumerate() {
+            if program.strategy != IoStrategy::DualPar || program.finish.is_some() {
+                continue;
+            }
+            let mut io = 0u64;
+            let mut total = 0u64;
+            for p in program.procs.clone() {
+                let (i, t) = self.procs[p].clock.take_sample();
+                io += i;
+                total += t;
+            }
+            self.emc.report_times(ProgramId(idx as u32), io, total);
+        }
+        let changes = self.emc.tick();
+        if let Some(imp) = self.emc.last_improvement() {
+            if imp.is_finite() {
+                self.emc_improvement.push((now.as_secs_f64(), imp));
+            }
+        }
+        for ch in changes {
+            let idx = ch.program.0 as usize;
+            if self.programs[idx].finish.is_some() {
+                continue;
+            }
+            self.programs[idx].mode = ch.mode;
+            self.mode_events.push(ModeEvent {
+                at: now,
+                program_index: idx,
+                mode: ch.mode,
+            });
+            if ch.mode == ExecMode::ComputationDriven {
+                self.flush_on_revert(now, idx);
+            }
+        }
+        self.cache.evict_idle(now);
+        // Keep ticking while any adaptive program is unfinished.
+        let live = self
+            .programs
+            .iter()
+            .any(|p| p.strategy == IoStrategy::DualPar && p.finish.is_none());
+        if live {
+            let slot = self.cfg.dualpar.sample_slot;
+            self.queue.schedule(now + slot, Ev::EmcTick);
+        } else {
+            self.emc_active = false;
+        }
+    }
+
+    // ----- reporting ----------------------------------------------------
+
+    fn report(&self) -> RunReport {
+        let programs = self
+            .programs
+            .iter()
+            .map(|p| ProgramReport {
+                name: p.name.clone(),
+                nprocs: p.nprocs(),
+                strategy: p.strategy.label(),
+                start: p.start,
+                finish: p.finish.unwrap_or_else(|| self.queue.now()),
+                bytes_read: p.bytes_read,
+                bytes_written: p.bytes_written,
+                io_time: p.io_time,
+                phases: p.phases,
+                avg_misprefetch: if p.mis_n == 0 {
+                    0.0
+                } else {
+                    p.mis_sum / p.mis_n as f64
+                },
+            })
+            .collect();
+        RunReport {
+            programs,
+            sim_end: self.queue.now(),
+            throughput_timeline: self.timeline.clone(),
+            mode_events: self.mode_events.clone(),
+            emc_improvement: self.emc_improvement.clone(),
+            disk_bytes: self.disks.iter().map(|d| d.bytes_serviced()).sum(),
+            events_processed: self.events_processed,
+        }
+    }
+
+    /// Mark a program finished if all procs are done and nothing is
+    /// pending.
+    pub(crate) fn maybe_finish_program(&mut self, now: SimTime, prog: usize) {
+        let program = &self.programs[prog];
+        if program.finish.is_some() || program.done_procs < program.nprocs() {
+            return;
+        }
+        // Flush any dirty cache contents belonging to this program first.
+        if !program.final_flush_pending {
+            let files = program.files.clone();
+            let dirty = self.drain_dirty_for(&files);
+            if !dirty.is_empty() {
+                self.programs[prog].final_flush_pending = true;
+                self.issue_flush(now, prog, dirty, true);
+                return;
+            }
+        } else {
+            return; // flush in flight; FlushWriteback will finish us
+        }
+        self.finish_program(now, prog);
+    }
+
+    pub(crate) fn finish_program(&mut self, now: SimTime, prog: usize) {
+        let program = &mut self.programs[prog];
+        debug_assert!(program.finish.is_none());
+        program.finish = Some(now);
+        self.finished_programs += 1;
+        if program.strategy == IoStrategy::DualPar {
+            self.emc.deregister(ProgramId(prog as u32));
+        }
+    }
+
+    /// Drain dirty cache data belonging to the given files only.
+    pub(crate) fn drain_dirty_for(&mut self, files: &HashSet<FileId>) -> Vec<(FileId, FileRegion)> {
+        // The cache drains everything; re-buffer what belongs to others.
+        // (Programs touch disjoint files in all experiments, so the
+        // re-buffer path is rare; correctness is what matters.)
+        let drained = self.cache.drain_dirty();
+        let mut ours = Vec::new();
+        let now = self.queue.now();
+        for (f, r) in drained {
+            if files.contains(&f) {
+                ours.push((f, r));
+            } else {
+                // Not ours: put it back as dirty under a neutral owner.
+                self.cache.put_write(OwnerId(u64::MAX), f, r, now);
+            }
+        }
+        ours
+    }
+}

@@ -1,0 +1,322 @@
+//! Script advancement and the vanilla / barrier / collective execution
+//! paths, plus completion-group dispatch.
+
+use crate::config::IoStrategy;
+use crate::engine::{Cluster, Ev, Group, PState, Purpose};
+use dualpar_core::ExecMode;
+use dualpar_disk::IoKind;
+use dualpar_mpiio::{plan_collective, plan_strided, IoCall, Op};
+use dualpar_pfs::{FileId, FileRegion};
+use dualpar_sim::{SimDuration, SimTime};
+
+impl Cluster {
+    /// Advance a process through its script until it blocks or finishes.
+    pub(crate) fn advance(&mut self, now: SimTime, p: usize) {
+        loop {
+            let pos = self.procs[p].pos;
+            if pos >= self.procs[p].script.ops.len() {
+                self.proc_done(now, p);
+                return;
+            }
+            let op = self.procs[p].script.ops[pos].clone();
+            match op {
+                Op::Compute(d) => {
+                    self.procs[p].pos += 1;
+                    if d == SimDuration::ZERO {
+                        continue;
+                    }
+                    self.procs[p].state = PState::Computing;
+                    self.queue.schedule(now + d, Ev::ProcReady(p));
+                    return;
+                }
+                Op::Barrier(id) => {
+                    self.procs[p].pos += 1;
+                    if self.barrier_arrive(now, p, id) {
+                        continue; // we released the barrier; keep going
+                    }
+                    return; // waiting
+                }
+                Op::Io(call) => {
+                    self.begin_io(now, p, call);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn proc_done(&mut self, now: SimTime, p: usize) {
+        if self.procs[p].state == PState::Done {
+            return;
+        }
+        self.procs[p].state = PState::Done;
+        let dur = now.since(self.procs[p].last_io_end);
+        self.procs[p].clock.record_other(dur);
+        let prog = self.procs[p].prog;
+        self.programs[prog].done_procs += 1;
+        // A finishing process may be the last active one a pre-execution
+        // phase was waiting for.
+        self.check_phase_ready(now, prog);
+        self.maybe_finish_program(now, prog);
+    }
+
+    /// Returns true when this arrival released the barrier.
+    fn barrier_arrive(&mut self, now: SimTime, p: usize, id: u64) -> bool {
+        let prog = self.procs[p].prog;
+        let nprocs = self.programs[prog].nprocs();
+        let waiters = self.programs[prog].barrier_waits.entry(id).or_default();
+        if waiters.len() + 1 == nprocs {
+            let released = self.programs[prog]
+                .barrier_waits
+                .remove(&id)
+                .unwrap_or_default();
+            for w in released {
+                self.procs[w].state = PState::Computing;
+                self.queue.schedule(now, Ev::ProcReady(w));
+            }
+            true
+        } else {
+            waiters.push(p);
+            self.procs[p].state = PState::BarrierWait(id);
+            false
+        }
+    }
+
+    /// Route an I/O call according to the program's strategy and mode.
+    fn begin_io(&mut self, now: SimTime, p: usize, call: IoCall) {
+        {
+            let proc = &mut self.procs[p];
+            let gap = now.since(proc.last_io_end);
+            proc.clock.record_other(gap);
+            proc.op_start = now;
+        }
+        let prog = self.procs[p].prog;
+        let strategy = self.programs[prog].strategy;
+        let mode = self.programs[prog].mode;
+        match strategy {
+            IoStrategy::Collective if call.collective => self.coll_arrive(now, p, call),
+            IoStrategy::DualPar | IoStrategy::DualParForced
+                if mode == ExecMode::DataDriven =>
+            {
+                self.dd_io(now, p, call)
+            }
+            IoStrategy::PrefetchOverlap if call.kind == IoKind::Read => {
+                self.s2_read(now, p, call)
+            }
+            _ => self.vanilla_io(now, p, call),
+        }
+    }
+
+    // ----- vanilla ------------------------------------------------------
+
+    /// Issue a call's regions synchronously, one region at a time — the
+    /// computation-driven baseline ("a process issues its synchronous read
+    /// requests one at a time", §II).
+    fn vanilla_io(&mut self, now: SimTime, p: usize, call: IoCall) {
+        let covers: Vec<FileRegion> = if call.kind == IoKind::Read && self.cfg.sieve.enabled {
+            plan_strided(call.file, &call.regions, &self.cfg.sieve)
+                .into_iter()
+                .map(|io| io.cover)
+                .collect()
+        } else {
+            call.regions.clone()
+        };
+        // Feed the EMC's per-node request-distance tracker with the
+        // app-level request stream (computation-driven issuance only).
+        let node = self.procs[p].node as usize;
+        for r in &call.regions {
+            self.req_dist[node].observe(call.file.0, r.offset, r.len);
+        }
+        self.procs[p].cur_covers = covers;
+        self.procs[p].state = PState::VanillaIo {
+            op: self.procs[p].pos,
+            next_region: 0,
+        };
+        self.vanilla_issue_next(now, p);
+    }
+
+    pub(crate) fn vanilla_issue_next(&mut self, now: SimTime, p: usize) {
+        let (op, next_region) = match self.procs[p].state {
+            PState::VanillaIo { op, next_region } => (op, next_region),
+            ref other => unreachable!("vanilla_issue_next in state {other:?}"),
+        };
+        if next_region >= self.procs[p].cur_covers.len() {
+            // Op complete.
+            let call = match &self.procs[p].script.ops[op] {
+                Op::Io(c) => c.clone(),
+                _ => unreachable!("op index must be an Io op"),
+            };
+            self.complete_io_op(now, p, &call);
+            return;
+        }
+        let call = match &self.procs[p].script.ops[op] {
+            Op::Io(c) => c.clone(),
+            _ => unreachable!(),
+        };
+        let cover = self.procs[p].cur_covers[next_region];
+        self.procs[p].state = PState::VanillaIo {
+            op,
+            next_region: next_region + 1,
+        };
+        let node = self.procs[p].node;
+        let prog = self.procs[p].prog;
+        let ctx = self.effective_ctx(prog, self.procs[p].ctx);
+        let group = self.new_group(Purpose::VanillaRegion { proc: p });
+        self.issue_covers(now, group, node, ctx, call.kind, &[(call.file, cover)]);
+        self.finish_if_empty(now, group);
+    }
+
+    /// Account and finish the I/O op a process was blocked on, then keep
+    /// advancing its script.
+    pub(crate) fn complete_io_op(&mut self, now: SimTime, p: usize, call: &IoCall) {
+        let bytes = call.bytes();
+        let dur = now.since(self.procs[p].op_start);
+        self.procs[p].clock.record_io(dur, bytes);
+        self.procs[p].last_io_end = now;
+        self.procs[p].pos += 1;
+        self.procs[p].cur_covers.clear();
+        let prog = self.procs[p].prog;
+        let program = &mut self.programs[prog];
+        program.io_time += dur;
+        match call.kind {
+            IoKind::Read => program.bytes_read += bytes,
+            IoKind::Write => program.bytes_written += bytes,
+        }
+        self.timeline.record(now, bytes as f64);
+        self.advance(now, p);
+    }
+
+    // ----- collective ----------------------------------------------------
+
+    fn coll_arrive(&mut self, now: SimTime, p: usize, call: IoCall) {
+        let prog = self.procs[p].prog;
+        let rank = self.procs[p].rank;
+        {
+            let program = &mut self.programs[prog];
+            let coll = &mut program.coll;
+            if coll.count == 0 {
+                coll.kind = Some(call.kind);
+                coll.file = Some(call.file);
+            }
+            assert_eq!(
+                coll.kind,
+                Some(call.kind),
+                "collective call kind mismatch across ranks"
+            );
+            assert_eq!(
+                coll.file,
+                Some(call.file),
+                "collective call file mismatch across ranks"
+            );
+            assert!(coll.arrived[rank].is_none(), "rank arrived twice");
+            coll.arrived[rank] = Some(call.regions.clone());
+            coll.count += 1;
+            self.procs[p].state = PState::CollWait;
+            if coll.count < program.nprocs() {
+                return;
+            }
+        }
+        self.coll_launch(now, prog);
+    }
+
+    fn coll_launch(&mut self, now: SimTime, prog: usize) {
+        let (file, kind, per_rank) = {
+            let coll = &self.programs[prog].coll;
+            let per_rank: Vec<Vec<FileRegion>> = coll
+                .arrived
+                .iter()
+                .map(|o| o.clone().unwrap_or_default())
+                .collect();
+            (
+                coll.file.expect("file set"),
+                coll.kind.expect("kind set"),
+                per_rank,
+            )
+        };
+        let plan = plan_collective(file, &per_rank, &self.cfg.collective);
+        let Some(plan) = plan else {
+            // Nothing requested — resume everyone immediately.
+            self.programs[prog].coll_exchange = (0, 0);
+            self.coll_resume(now, prog);
+            return;
+        };
+        self.programs[prog].coll_exchange = (plan.exchange_bytes, plan.exchange_msgs);
+        let group = self.new_group(Purpose::CollIo { prog });
+        let proc_base = self.programs[prog].procs.start;
+        for agg in &plan.aggregators {
+            let agg_proc = proc_base + agg.agg_rank;
+            let node = self.procs[agg_proc].node;
+            let ctx = self.effective_ctx(prog, self.procs[agg_proc].ctx);
+            let covers: Vec<(FileId, FileRegion)> =
+                agg.ios.iter().map(|io| (io.file, io.cover)).collect();
+            self.issue_covers(now, group, node, ctx, kind, &covers);
+        }
+        self.finish_if_empty(now, group);
+    }
+
+    pub(crate) fn coll_io_done(&mut self, now: SimTime, prog: usize) {
+        // Shuffle phase: rounds of point-to-point messages plus the moved
+        // volume spread over the compute-node NICs.
+        let (bytes, msgs) = self.programs[prog].coll_exchange;
+        let nprocs = self.programs[prog].nprocs() as u64;
+        let rounds = msgs.div_ceil(nprocs.max(1));
+        let per_node = bytes / self.cfg.num_compute_nodes.max(1) as u64;
+        let exchange = SimDuration(self.cfg.net_latency.nanos() * rounds)
+            + SimDuration::for_transfer(per_node, self.cfg.net_bandwidth);
+        let group = self.new_group(Purpose::CollResume { prog });
+        self.groups.get_mut(&group).expect("new group").remaining = 1;
+        self.queue.schedule(now + exchange, Ev::SubDone { group });
+    }
+
+    pub(crate) fn coll_resume(&mut self, now: SimTime, prog: usize) {
+        let range = self.programs[prog].procs.clone();
+        let proc_base = range.start;
+        let mut total = 0u64;
+        let kind = self.programs[prog].coll.kind.unwrap_or(IoKind::Read);
+        for rank in 0..range.len() {
+            let p = proc_base + rank;
+            let regions = self.programs[prog].coll.arrived[rank]
+                .take()
+                .unwrap_or_default();
+            let bytes: u64 = regions.iter().map(|r| r.len).sum();
+            total += bytes;
+            let dur = now.since(self.procs[p].op_start);
+            self.procs[p].clock.record_io(dur, bytes);
+            self.procs[p].last_io_end = now;
+            self.procs[p].pos += 1;
+            self.programs[prog].io_time += dur;
+            self.procs[p].state = PState::Computing;
+            self.queue.schedule(now, Ev::ProcReady(p));
+        }
+        {
+            let program = &mut self.programs[prog];
+            program.coll.count = 0;
+            program.coll.kind = None;
+            program.coll.file = None;
+            match kind {
+                IoKind::Read => program.bytes_read += total,
+                IoKind::Write => program.bytes_written += total,
+            }
+        }
+        self.timeline.record(now, total as f64);
+    }
+
+    // ----- group dispatch -------------------------------------------------
+
+    pub(crate) fn dispatch_group(&mut self, now: SimTime, group: Group) {
+        match group.purpose {
+            Purpose::VanillaRegion { proc } => self.vanilla_issue_next(now, proc),
+            Purpose::DirectFetch { proc } => self.direct_fetch_done(now, proc),
+            Purpose::S2Prefetch { proc, file, region } => {
+                self.s2_prefetch_done(now, proc, file, region)
+            }
+            Purpose::CollIo { prog } => self.coll_io_done(now, prog),
+            Purpose::CollResume { prog } => self.coll_resume(now, prog),
+            Purpose::PhaseFill { prog } => self.phase_fill_done(now, prog),
+            Purpose::PhaseWriteback { prog } => self.phase_writeback_done(now, prog),
+            Purpose::PhasePrefetch { prog } => self.phase_prefetch_done(now, prog),
+            Purpose::FlushWriteback { prog, finalize } => {
+                self.flush_done(now, prog, finalize)
+            }
+        }
+    }
+}

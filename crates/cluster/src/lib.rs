@@ -1,0 +1,19 @@
+//! # dualpar-cluster
+//!
+//! The full-system binding: a deterministic event-driven simulation of the
+//! paper's platform — compute nodes running MPI process scripts, PVFS2-like
+//! data servers with mechanical disks behind CFQ, a GigE-class network, the
+//! global cache, and the DualPar policy modules — executing programs under
+//! any of the five I/O strategies (vanilla, collective, prefetch-overlap,
+//! forced data-driven, adaptive DualPar).
+
+mod datadriven;
+mod engine;
+mod exec;
+
+pub mod config;
+pub mod metrics;
+
+pub use config::{ClusterConfig, CtxMode, IoStrategy, ProgramSpec, ServerWriteMode};
+pub use engine::Cluster;
+pub use metrics::{ModeEvent, ProgramReport, RunReport};

@@ -1,0 +1,127 @@
+//! Block-level request representation shared by all schedulers.
+
+use crate::model::Lbn;
+use dualpar_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Read or write, at every layer of the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoKind {
+    /// Data flows from the device.
+    Read,
+    /// Data flows to the device.
+    Write,
+}
+
+impl IoKind {
+    /// True for [`IoKind::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, IoKind::Read)
+    }
+}
+
+/// Identifier of the *issuing context* as seen by the disk scheduler — the
+/// analogue of the process/io-context CFQ keys its per-context queues on.
+/// Under vanilla MPI-IO each MPI process is its own context; under collective
+/// I/O the aggregator is; under DualPar the per-node CRM daemon is. This
+/// difference is precisely what changes the scheduler's view of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IoCtx(pub u32);
+
+/// A request queued at (or being serviced by) a disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskRequest {
+    /// Unique id assigned by the issuing layer.
+    pub id: u64,
+    /// Issuing context the scheduler keys fairness on.
+    pub ctx: IoCtx,
+    /// Read or write.
+    pub kind: IoKind,
+    /// First sector accessed.
+    pub lbn: Lbn,
+    /// Sectors accessed.
+    pub sectors: u64,
+    /// When the request reached the scheduler.
+    pub arrival: SimTime,
+    /// Ids of requests coalesced into this one by queue merging (always
+    /// contains `id` itself). The server completes all of them at once.
+    pub merged: Vec<u64>,
+}
+
+impl DiskRequest {
+    /// Build an unmerged request.
+    pub fn new(id: u64, ctx: IoCtx, kind: IoKind, lbn: Lbn, sectors: u64, arrival: SimTime) -> Self {
+        debug_assert!(sectors > 0, "zero-length disk request");
+        DiskRequest {
+            id,
+            ctx,
+            kind,
+            lbn,
+            sectors,
+            arrival,
+            merged: vec![id],
+        }
+    }
+
+    /// One-past-the-end sector.
+    #[inline]
+    pub fn end(&self) -> Lbn {
+        self.lbn + self.sectors
+    }
+
+    /// Whether `next` extends this request contiguously at its tail with the
+    /// same kind (the block layer's "back merge").
+    pub fn can_back_merge(&self, next: &DiskRequest, max_sectors: u64) -> bool {
+        self.kind == next.kind
+            && self.end() == next.lbn
+            && self.sectors + next.sectors <= max_sectors
+    }
+
+    /// Perform the back merge, absorbing `next`'s ids.
+    pub fn back_merge(&mut self, next: DiskRequest) {
+        debug_assert!(self.can_back_merge(&next, u64::MAX));
+        self.sectors += next.sectors;
+        self.merged.extend(next.merged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, lbn: Lbn, sectors: u64) -> DiskRequest {
+        DiskRequest::new(id, IoCtx(1), IoKind::Read, lbn, sectors, SimTime::ZERO)
+    }
+
+    #[test]
+    fn back_merge_requires_contiguity_and_kind() {
+        let a = req(1, 100, 8);
+        let b = req(2, 108, 8);
+        let c = req(3, 120, 8);
+        assert!(a.can_back_merge(&b, 1024));
+        assert!(!a.can_back_merge(&c, 1024));
+        let mut w = a.clone();
+        w.kind = IoKind::Write;
+        let mut b2 = b.clone();
+        b2.kind = IoKind::Read;
+        assert!(!w.can_back_merge(&b2, 1024));
+    }
+
+    #[test]
+    fn back_merge_respects_size_cap() {
+        let a = req(1, 0, 1000);
+        let b = req(2, 1000, 100);
+        assert!(!a.can_back_merge(&b, 1024));
+        assert!(a.can_back_merge(&b, 1100));
+    }
+
+    #[test]
+    fn back_merge_accumulates_ids() {
+        let mut a = req(1, 0, 8);
+        a.back_merge(req(2, 8, 8));
+        a.back_merge(req(3, 16, 8));
+        assert_eq!(a.sectors, 24);
+        assert_eq!(a.merged, vec![1, 2, 3]);
+        assert_eq!(a.end(), 24);
+    }
+}

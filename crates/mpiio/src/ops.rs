@@ -1,0 +1,248 @@
+//! The process-script model: what an MPI process *does*.
+//!
+//! A process is a sequence of compute bursts, I/O calls, and barriers. This
+//! is the level at which DualPar's ghost processes replay execution: a ghost
+//! walks the same script ahead of the blocked main process, *recording* the
+//! I/O it encounters instead of issuing it.
+//!
+//! Data-dependent I/O (Table III) is modelled by attaching to an op the
+//! regions a ghost would *predict*: for ordinary I/O prediction is perfect
+//! (pre-execution re-runs the real computation), for dependent I/O the
+//! prediction is wrong and the prefetched data goes unused.
+
+use crate::datatype::Datatype;
+use dualpar_pfs::{FileId, FileRegion};
+use dualpar_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+pub use dualpar_disk::IoKind;
+
+/// One I/O call as issued by the application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoCall {
+    /// Read or write.
+    pub kind: IoKind,
+    /// Target file.
+    pub file: FileId,
+    /// The regions actually accessed, ascending by offset.
+    pub regions: Vec<FileRegion>,
+    /// Whether this call is a collective MPI-IO call (all ranks must arrive
+    /// before any proceeds).
+    pub collective: bool,
+    /// For data-dependent accesses: what a ghost pre-execution would fetch
+    /// instead (it cannot know the true addresses because the data they
+    /// depend on has not been read yet). `None` means prediction is exact.
+    pub predicted: Option<Vec<FileRegion>>,
+}
+
+impl IoCall {
+    /// An independent read of `regions`.
+    pub fn read(file: FileId, regions: Vec<FileRegion>) -> Self {
+        IoCall {
+            kind: IoKind::Read,
+            file,
+            regions,
+            collective: false,
+            predicted: None,
+        }
+    }
+
+    /// An independent write of `regions`.
+    pub fn write(file: FileId, regions: Vec<FileRegion>) -> Self {
+        IoCall {
+            kind: IoKind::Write,
+            file,
+            regions,
+            collective: false,
+            predicted: None,
+        }
+    }
+
+    /// A call whose regions come from one datatype instance at `base`.
+    pub fn from_datatype(kind: IoKind, file: FileId, dt: &Datatype, base: u64) -> Self {
+        IoCall {
+            kind,
+            file,
+            regions: dt.regions_at(base),
+            collective: false,
+            predicted: None,
+        }
+    }
+
+    /// Mark the call collective (all ranks synchronise on it).
+    pub fn collective(mut self) -> Self {
+        self.collective = true;
+        self
+    }
+
+    /// Mark as data-dependent with the given (wrong) ghost prediction.
+    pub fn with_prediction(mut self, predicted: Vec<FileRegion>) -> Self {
+        self.predicted = Some(predicted);
+        self
+    }
+
+    /// The regions a ghost pre-execution would request.
+    pub fn ghost_regions(&self) -> &[FileRegion] {
+        self.predicted.as_deref().unwrap_or(&self.regions)
+    }
+
+    /// Total bytes the call moves.
+    pub fn bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.len).sum()
+    }
+}
+
+/// One step of a process script.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Pure computation for the given duration.
+    Compute(SimDuration),
+    /// A (synchronous) I/O call.
+    Io(IoCall),
+    /// Synchronise with all ranks of the program at this barrier id.
+    /// Barrier ids must appear in the same order in every rank's script.
+    Barrier(u64),
+}
+
+/// The full script of one rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessScript {
+    /// The steps, executed in order.
+    pub ops: Vec<Op>,
+}
+
+impl ProcessScript {
+    /// Wrap an op list.
+    pub fn new(ops: Vec<Op>) -> Self {
+        ProcessScript { ops }
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the script has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total compute time in the script.
+    pub fn total_compute(&self) -> SimDuration {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Compute(d) => Some(*d),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total bytes moved by I/O calls.
+    pub fn total_io_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Io(c) => Some(c.bytes()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of I/O calls in the script.
+    pub fn num_io_calls(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Io(_))).count()
+    }
+}
+
+/// A multi-rank program: one script per rank plus a label.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramScript {
+    /// Program label used in reports.
+    pub name: String,
+    /// One script per rank.
+    pub ranks: Vec<ProcessScript>,
+}
+
+impl ProgramScript {
+    /// Number of ranks.
+    pub fn nprocs(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Sanity check: all ranks see the same barrier sequence.
+    pub fn barriers_consistent(&self) -> bool {
+        let seq = |s: &ProcessScript| -> Vec<u64> {
+            s.ops
+                .iter()
+                .filter_map(|o| match o {
+                    Op::Barrier(id) => Some(*id),
+                    _ => None,
+                })
+                .collect()
+        };
+        let Some(first) = self.ranks.first() else {
+            return true;
+        };
+        let reference = seq(first);
+        self.ranks.iter().all(|r| seq(r) == reference)
+    }
+
+    /// Total bytes moved by all ranks.
+    pub fn total_io_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.total_io_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghost_regions_default_to_actual() {
+        let call = IoCall::read(FileId(1), vec![FileRegion::new(0, 100)]);
+        assert_eq!(call.ghost_regions(), &[FileRegion::new(0, 100)]);
+    }
+
+    #[test]
+    fn ghost_regions_use_prediction_when_dependent() {
+        let call = IoCall::read(FileId(1), vec![FileRegion::new(0, 100)])
+            .with_prediction(vec![FileRegion::new(5000, 100)]);
+        assert_eq!(call.ghost_regions(), &[FileRegion::new(5000, 100)]);
+        assert_eq!(call.regions, vec![FileRegion::new(0, 100)]);
+    }
+
+    #[test]
+    fn script_accounting() {
+        let s = ProcessScript::new(vec![
+            Op::Compute(SimDuration::from_millis(5)),
+            Op::Io(IoCall::read(FileId(1), vec![FileRegion::new(0, 1000)])),
+            Op::Barrier(0),
+            Op::Compute(SimDuration::from_millis(3)),
+            Op::Io(IoCall::write(FileId(1), vec![FileRegion::new(0, 500)])),
+        ]);
+        assert_eq!(s.total_compute(), SimDuration::from_millis(8));
+        assert_eq!(s.total_io_bytes(), 1500);
+        assert_eq!(s.num_io_calls(), 2);
+    }
+
+    #[test]
+    fn barrier_consistency_check() {
+        let a = ProcessScript::new(vec![Op::Barrier(0), Op::Barrier(1)]);
+        let b = ProcessScript::new(vec![
+            Op::Compute(SimDuration::from_millis(1)),
+            Op::Barrier(0),
+            Op::Barrier(1),
+        ]);
+        let good = ProgramScript {
+            name: "p".into(),
+            ranks: vec![a.clone(), b],
+        };
+        assert!(good.barriers_consistent());
+        let bad = ProgramScript {
+            name: "p".into(),
+            ranks: vec![a, ProcessScript::new(vec![Op::Barrier(1)])],
+        };
+        assert!(!bad.barriers_consistent());
+    }
+}

@@ -1,0 +1,164 @@
+//! Data sieving (Thakur et al., "Data Sieving and Collective I/O in
+//! ROMIO"): an *independent* strided access can be served by reading the
+//! single contiguous extent from its first to its last byte and copying out
+//! the pieces, trading wasted transfer for far fewer requests.
+//!
+//! The paper's "vanilla MPI-IO" baseline issues each noncontiguous segment
+//! as its own request (that is what makes BTIO's 8-byte accesses so
+//! pathological), so sieving defaults to off; it is exposed for the
+//! `ablation_crm` bench and for completeness of the ROMIO model.
+
+use crate::access::CoalescedIo;
+use dualpar_pfs::{FileId, FileRegion};
+use serde::{Deserialize, Serialize};
+
+/// Data-sieving policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SieveConfig {
+    /// Apply sieving at all.
+    pub enabled: bool,
+    /// Maximum extent read at once (ROMIO `ind_rd_buffer_size`, 4 MB
+    /// default).
+    pub buffer_bytes: u64,
+    /// Do not sieve unless the useful fraction of the extent is at least
+    /// this much (pure overhead guard; ROMIO always sieves reads, but a
+    /// threshold keeps the model honest for pathological strides).
+    pub min_useful_fraction: f64,
+}
+
+impl Default for SieveConfig {
+    fn default() -> Self {
+        SieveConfig {
+            enabled: false,
+            buffer_bytes: 4 << 20,
+            min_useful_fraction: 0.0625, // 1/16th useful is still a win on disk
+        }
+    }
+}
+
+/// Plan the accesses for one independent strided call.
+///
+/// Input regions must be sorted and disjoint. Returns the accesses to issue:
+/// either sieved covering extents or the raw regions.
+pub fn plan_strided(file: FileId, regions: &[FileRegion], cfg: &SieveConfig) -> Vec<CoalescedIo> {
+    debug_assert!(regions.windows(2).all(|w| w[0].end() <= w[1].offset));
+    let passthrough = |regions: &[FileRegion]| -> Vec<CoalescedIo> {
+        regions
+            .iter()
+            .filter(|r| r.len > 0)
+            .map(|&r| CoalescedIo {
+                file,
+                cover: r,
+                useful: vec![r],
+            })
+            .collect()
+    };
+    if !cfg.enabled || regions.len() < 2 {
+        return passthrough(regions);
+    }
+    // Greedily grow sieve windows bounded by buffer_bytes.
+    let mut out = Vec::new();
+    let mut window: Vec<FileRegion> = Vec::new();
+    let flush = |window: &mut Vec<FileRegion>, out: &mut Vec<CoalescedIo>| {
+        if window.is_empty() {
+            return;
+        }
+        let cover = FileRegion::new(
+            window[0].offset,
+            window.last().unwrap().end() - window[0].offset,
+        );
+        let useful: u64 = window.iter().map(|r| r.len).sum();
+        if window.len() >= 2 && (useful as f64) >= cfg.min_useful_fraction * cover.len as f64 {
+            out.push(CoalescedIo {
+                file,
+                cover,
+                useful: std::mem::take(window),
+            });
+        } else {
+            for r in window.drain(..) {
+                out.push(CoalescedIo {
+                    file,
+                    cover: r,
+                    useful: vec![r],
+                });
+            }
+        }
+    };
+    for &r in regions.iter().filter(|r| r.len > 0) {
+        let would_span = match window.first() {
+            Some(first) => r.end() - first.offset,
+            None => r.len,
+        };
+        if !window.is_empty() && would_span > cfg.buffer_bytes {
+            flush(&mut window, &mut out);
+        }
+        window.push(r);
+    }
+    flush(&mut window, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(o: u64, l: u64) -> FileRegion {
+        FileRegion::new(o, l)
+    }
+
+    fn on() -> SieveConfig {
+        SieveConfig {
+            enabled: true,
+            ..SieveConfig::default()
+        }
+    }
+
+    #[test]
+    fn disabled_passes_regions_through() {
+        let regions = vec![r(0, 8), r(1000, 8), r(2000, 8)];
+        let out = plan_strided(FileId(1), &regions, &SieveConfig::default());
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|io| io.hole_bytes() == 0));
+    }
+
+    #[test]
+    fn enabled_sieves_dense_stride() {
+        // 16 bytes every 64: dense enough to sieve.
+        let regions: Vec<FileRegion> = (0..100).map(|i| r(i * 64, 16)).collect();
+        let out = plan_strided(FileId(1), &regions, &on());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cover, r(0, 99 * 64 + 16));
+        assert_eq!(out[0].useful_bytes(), 1600);
+    }
+
+    #[test]
+    fn sparse_stride_not_sieved() {
+        // 8 bytes every 1 MB: 1/131072 useful — worse than the threshold.
+        let regions: Vec<FileRegion> = (0..4).map(|i| r(i << 20, 8)).collect();
+        let out = plan_strided(FileId(1), &regions, &on());
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|io| io.hole_bytes() == 0));
+    }
+
+    #[test]
+    fn buffer_bound_splits_windows() {
+        let cfg = SieveConfig {
+            enabled: true,
+            buffer_bytes: 1024,
+            min_useful_fraction: 0.0,
+        };
+        let regions: Vec<FileRegion> = (0..10).map(|i| r(i * 512, 256)).collect();
+        let out = plan_strided(FileId(1), &regions, &cfg);
+        assert!(out.len() > 1);
+        assert!(out.iter().all(|io| io.cover.len <= 1024));
+        let useful: u64 = out.iter().map(|io| io.useful_bytes()).sum();
+        assert_eq!(useful, 2560);
+    }
+
+    #[test]
+    fn single_region_never_sieved() {
+        let out = plan_strided(FileId(1), &[r(0, 100)], &on());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].hole_bytes(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! A sorted, disjoint set of byte ranges.
+//!
+//! Used by the global cache to track which bytes of a chunk are present or
+//! dirty, and by the CRM to compute holes between requests. Stored as a
+//! sorted `Vec<(start, end)>` of half-open intervals, merged on insert.
+
+use serde::{Deserialize, Serialize};
+
+/// Set of disjoint half-open byte intervals `[start, end)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeSet {
+    runs: Vec<(u64, u64)>,
+}
+
+impl RangeSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        RangeSet::default()
+    }
+
+    /// A set containing the single interval `[start, start+len)`.
+    pub fn from_range(start: u64, len: u64) -> Self {
+        let mut s = RangeSet::new();
+        s.insert(start, len);
+        s
+    }
+
+    /// Does the set cover nothing?
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of disjoint runs.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total bytes covered.
+    pub fn covered(&self) -> u64 {
+        self.runs.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Iterate the disjoint `(start, end)` runs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.runs.iter().copied()
+    }
+
+    /// Insert `[start, start+len)`, merging with touching/overlapping runs.
+    pub fn insert(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut s = start;
+        let mut e = start + len;
+        // Find all runs overlapping or touching [s, e).
+        let lo = self.runs.partition_point(|&(_, re)| re < s);
+        let mut hi = lo;
+        while hi < self.runs.len() && self.runs[hi].0 <= e {
+            s = s.min(self.runs[hi].0);
+            e = e.max(self.runs[hi].1);
+            hi += 1;
+        }
+        self.runs.splice(lo..hi, [(s, e)]);
+    }
+
+    /// Remove `[start, start+len)` from the set.
+    pub fn remove(&mut self, start: u64, len: u64) {
+        if len == 0 || self.runs.is_empty() {
+            return;
+        }
+        let s = start;
+        let e = start + len;
+        let mut result = Vec::with_capacity(self.runs.len() + 1);
+        for &(rs, re) in &self.runs {
+            if re <= s || rs >= e {
+                result.push((rs, re));
+                continue;
+            }
+            if rs < s {
+                result.push((rs, s));
+            }
+            if re > e {
+                result.push((e, re));
+            }
+        }
+        self.runs = result;
+    }
+
+    /// Does the set fully cover `[start, start+len)`?
+    pub fn contains_range(&self, start: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let e = start + len;
+        let idx = self.runs.partition_point(|&(_, re)| re <= start);
+        match self.runs.get(idx) {
+            Some(&(rs, re)) => rs <= start && e <= re,
+            None => false,
+        }
+    }
+
+    /// Bytes of `[start, start+len)` covered by the set.
+    pub fn intersect_len(&self, start: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let e = start + len;
+        let mut covered = 0;
+        let idx = self.runs.partition_point(|&(_, re)| re <= start);
+        for &(rs, re) in &self.runs[idx..] {
+            if rs >= e {
+                break;
+            }
+            covered += re.min(e) - rs.max(start);
+        }
+        covered
+    }
+
+    /// The gaps of `[start, start+len)` not covered by the set.
+    pub fn gaps(&self, start: u64, len: u64) -> Vec<(u64, u64)> {
+        let e = start + len;
+        let mut gaps = Vec::new();
+        let mut cursor = start;
+        let idx = self.runs.partition_point(|&(_, re)| re <= start);
+        for &(rs, re) in &self.runs[idx..] {
+            if rs >= e {
+                break;
+            }
+            if rs > cursor {
+                gaps.push((cursor, rs - cursor));
+            }
+            cursor = cursor.max(re);
+        }
+        if cursor < e {
+            gaps.push((cursor, e - cursor));
+        }
+        gaps
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_merges_touching() {
+        let mut r = RangeSet::new();
+        r.insert(0, 10);
+        r.insert(10, 10); // touching
+        assert_eq!(r.num_runs(), 1);
+        assert_eq!(r.covered(), 20);
+        r.insert(30, 5);
+        assert_eq!(r.num_runs(), 2);
+        r.insert(15, 20); // bridges the gap
+        assert_eq!(r.num_runs(), 1);
+        assert_eq!(r.covered(), 35);
+    }
+
+    #[test]
+    fn insert_overlapping_is_idempotent() {
+        let mut r = RangeSet::from_range(5, 10);
+        r.insert(5, 10);
+        r.insert(7, 3);
+        assert_eq!(r.covered(), 10);
+        assert_eq!(r.num_runs(), 1);
+    }
+
+    #[test]
+    fn remove_splits_runs() {
+        let mut r = RangeSet::from_range(0, 100);
+        r.remove(40, 20);
+        assert_eq!(r.num_runs(), 2);
+        assert_eq!(r.covered(), 80);
+        assert!(r.contains_range(0, 40));
+        assert!(r.contains_range(60, 40));
+        assert!(!r.contains_range(39, 2));
+    }
+
+    #[test]
+    fn remove_nonexistent_is_noop() {
+        let mut r = RangeSet::from_range(0, 10);
+        r.remove(50, 10);
+        assert_eq!(r.covered(), 10);
+    }
+
+    #[test]
+    fn contains_range_edges() {
+        let r = RangeSet::from_range(10, 10);
+        assert!(r.contains_range(10, 10));
+        assert!(r.contains_range(15, 5));
+        assert!(!r.contains_range(15, 6));
+        assert!(!r.contains_range(9, 2));
+        assert!(r.contains_range(0, 0)); // empty range trivially contained
+    }
+
+    #[test]
+    fn intersect_len_partial() {
+        let mut r = RangeSet::new();
+        r.insert(0, 10);
+        r.insert(20, 10);
+        assert_eq!(r.intersect_len(5, 20), 10); // 5..10 and 20..25
+        assert_eq!(r.intersect_len(10, 10), 0);
+        assert_eq!(r.intersect_len(0, 30), 20);
+    }
+
+    #[test]
+    fn gaps_are_complement() {
+        let mut r = RangeSet::new();
+        r.insert(10, 10);
+        r.insert(30, 10);
+        let gaps = r.gaps(0, 50);
+        assert_eq!(gaps, vec![(0, 10), (20, 10), (40, 10)]);
+        assert_eq!(r.gaps(10, 10), vec![]);
+        assert_eq!(r.gaps(12, 5), vec![]);
+    }
+
+    #[test]
+    fn zero_len_operations() {
+        let mut r = RangeSet::new();
+        r.insert(5, 0);
+        assert!(r.is_empty());
+        r.insert(5, 5);
+        r.remove(6, 0);
+        assert_eq!(r.covered(), 5);
+        assert_eq!(r.intersect_len(0, 0), 0);
+    }
+}

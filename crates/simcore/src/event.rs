@@ -1,0 +1,230 @@
+//! The discrete-event queue.
+//!
+//! A binary heap of `(time, seq)`-ordered events. The monotonically increasing
+//! sequence number breaks ties so that events scheduled earlier at the same
+//! instant are delivered first (stable FIFO among simultaneous events), which
+//! keeps simulations deterministic regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Opaque handle that identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+    cancelled: bool,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Current simulation clock: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (not cancelled) events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock — an event in the past is
+    /// always a simulation bug, and catching it here localises the error.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling event in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+            cancelled: false,
+        });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending. Cancelling an already-fired or unknown id is a no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Lazy deletion: mark and skip at pop time.
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if entry.cancelled || self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "event queue time inversion");
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let top_seq = self.heap.peek().map(|e| e.seq)?;
+            if self.cancelled.remove(&top_seq) {
+                self.heap.pop();
+                continue;
+            }
+            return self.heap.peek().map(|e| e.time);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), ());
+        q.schedule(SimTime(10), ());
+        q.schedule(SimTime(42), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+        assert_eq!(last, SimTime(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), ());
+        q.pop();
+        q.schedule(SimTime(5), ());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime(1), "a");
+        q.schedule(SimTime(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_fired_event_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // Already fired; cancel is accepted but has no effect on future pops.
+        q.cancel(a);
+        q.schedule(SimTime(2), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime(1), "a");
+        q.schedule(SimTime(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime(2)));
+    }
+
+    #[test]
+    fn rescheduling_at_same_time_preserves_order_across_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(1), 0);
+        q.pop();
+        q.schedule(SimTime(1), 1);
+        q.schedule(SimTime(1), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! # dualpar-sim
+//!
+//! Deterministic discrete-event simulation engine underpinning the DualPar
+//! reproduction. Provides:
+//!
+//! * [`time`] — integer-nanosecond simulated clock types;
+//! * [`event`] — a stable-FIFO future-event list with cancellation;
+//! * [`rng`] — labelled deterministic random streams;
+//! * [`stats`] — online statistics, time series, exact percentiles;
+//! * [`resource`] — FIFO resources and latency/bandwidth links.
+//!
+//! Everything is single-threaded and allocation-conscious; determinism is a
+//! hard guarantee (same seed ⇒ bit-identical run), which the property tests
+//! in `tests/` enforce.
+
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventId, EventQueue};
+pub use resource::{FifoResource, Link};
+pub use rng::DetRng;
+pub use stats::{OnlineStats, Samples, TimeSeries};
+pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

@@ -1,0 +1,299 @@
+//! Online statistics and time-series recorders used by the metric collectors.
+
+use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Welford online mean/variance plus min/max.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A time-binned counter, used to build throughput timelines (Fig. 7a) and
+/// per-window averages such as seek distance per sampling slot (Fig. 7b).
+#[derive(Debug, Clone, Serialize)]
+pub struct TimeSeries {
+    bin: SimDuration,
+    /// Sum of values per bin.
+    sums: Vec<f64>,
+    /// Sample count per bin.
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    pub fn new(bin: SimDuration) -> Self {
+        assert!(bin.nanos() > 0, "bin width must be positive");
+        TimeSeries {
+            bin,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    fn bin_index(&self, at: SimTime) -> usize {
+        (at.nanos() / self.bin.nanos()) as usize
+    }
+
+    /// Add `value` to the bin containing `at`.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        let idx = self.bin_index(at);
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    pub fn num_bins(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Per-bin sums (e.g. bytes per second for throughput timelines).
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Per-bin averages; bins with no samples yield 0.
+    pub fn averages(&self) -> Vec<f64> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Sum of a bin expressed as a rate per second.
+    pub fn rate_per_sec(&self, bin_idx: usize) -> f64 {
+        let secs = self.bin.as_secs_f64();
+        self.sums.get(bin_idx).copied().unwrap_or(0.0) / secs
+    }
+
+    pub fn total(&self) -> f64 {
+        self.sums.iter().sum()
+    }
+}
+
+/// An exact-percentile reservoir: stores all samples. Experiments in this
+/// repo produce at most a few million samples, so exactness is affordable and
+/// avoids quantile-sketch approximation error in reproduced tables.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Exact percentile by nearest-rank; `p` in `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * (self.values.len() - 1) as f64).round() as usize;
+        self.values[rank.min(self.values.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeseries_bins_and_rates() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(SimTime::from_millis(100), 10.0);
+        ts.record(SimTime::from_millis(900), 20.0);
+        ts.record(SimTime::from_millis(1500), 5.0);
+        assert_eq!(ts.num_bins(), 2);
+        assert_eq!(ts.sums(), &[30.0, 5.0]);
+        assert_eq!(ts.rate_per_sec(0), 30.0);
+        assert_eq!(ts.averages(), vec![15.0, 5.0]);
+        assert_eq!(ts.total(), 35.0);
+    }
+
+    #[test]
+    fn timeseries_empty_bins_average_zero() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(SimTime::from_secs(2), 6.0);
+        assert_eq!(ts.averages(), vec![0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn percentiles_exact() {
+        let mut s = Samples::new();
+        for v in (1..=100).rev() {
+            s.push(v as f64);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(50.0), 51.0); // nearest-rank on 0..=99 index
+        assert!((s.mean() - 50.5).abs() < 1e-12);
+    }
+}

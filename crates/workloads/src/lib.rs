@@ -1,0 +1,14 @@
+//! # dualpar-workloads
+//!
+//! Access-pattern-faithful generators for the paper's benchmarks (§V-A):
+//! `mpi-io-test`, `hpio`, `ior-mpi-io`, `noncontig`, `S3asim`, `BTIO`, plus
+//! the §II motivating synthetic (`Demo`) and the Table III data-dependent
+//! adversary (`DependentReader`).
+
+pub mod common;
+pub mod replay;
+pub mod suite;
+
+pub use common::{build_program, compute, compute_for_io_ratio, io_region};
+pub use replay::{TraceEntry, TraceReplay};
+pub use suite::{Btio, Demo, DependentReader, Hpio, IorMpiIo, MpiIoTest, Noncontig, S3asim};
