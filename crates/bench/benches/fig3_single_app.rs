@@ -8,7 +8,7 @@
 //! ahead. Writes show the same ordering with lower absolute numbers.
 
 use dualpar_bench::experiments::{run_ior, run_mpi_io_test, run_noncontig};
-use dualpar_bench::{paper_cluster, print_table, save_json};
+use dualpar_bench::{apply_telemetry_args, paper_cluster, print_table, save_json};
 use dualpar_cluster::IoStrategy;
 use dualpar_disk::IoKind;
 use serde::Serialize;
@@ -23,6 +23,13 @@ struct Row {
 }
 
 fn main() {
+    // `--telemetry counters` makes every run fold counters into its report;
+    // the per-run trace path is ignored here (18 runs share the flags).
+    let cluster = || {
+        let mut cfg = paper_cluster();
+        let _ = apply_telemetry_args(&mut cfg);
+        cfg
+    };
     let strategies = [
         IoStrategy::Vanilla,
         IoStrategy::Collective,
@@ -34,7 +41,7 @@ fn main() {
         // mpi-io-test: 1 GB, 16 KB requests, 64 procs.
         let mut thr = [0.0; 3];
         for (i, &s) in strategies.iter().enumerate() {
-            let (r, _) = run_mpi_io_test(paper_cluster(), s, kind, 64, 1 << 30);
+            let (r, _) = run_mpi_io_test(cluster(), s, kind, 64, 1 << 30);
             thr[i] = r.programs[0].throughput_mbps();
         }
         rows.push(Row {
@@ -46,7 +53,7 @@ fn main() {
         });
         // noncontig: 64 procs, 512 B cells, 16384 rows = 512 MB.
         for (i, &s) in strategies.iter().enumerate() {
-            let (r, _) = run_noncontig(paper_cluster(), s, kind, 64, 16384);
+            let (r, _) = run_noncontig(cluster(), s, kind, 64, 16384);
             thr[i] = r.programs[0].throughput_mbps();
         }
         rows.push(Row {
@@ -58,7 +65,7 @@ fn main() {
         });
         // ior-mpi-io: 4 GB file (scaled from 16 GB), 32 KB requests.
         for (i, &s) in strategies.iter().enumerate() {
-            let (r, _) = run_ior(paper_cluster(), s, kind, 64, 4 << 30);
+            let (r, _) = run_ior(cluster(), s, kind, 64, 4 << 30);
             thr[i] = r.programs[0].throughput_mbps();
         }
         rows.push(Row {

@@ -9,7 +9,7 @@
 //! per-slot average seek distance on data server 1.
 
 use dualpar_bench::experiments::run_varying_workload;
-use dualpar_bench::{paper_cluster, print_table, save_gnuplot, save_json};
+use dualpar_bench::{apply_telemetry_args, export_trace_to, paper_cluster, print_table, save_gnuplot, save_json};
 use dualpar_sim::{SimDuration, SimTime};
 use serde::Serialize;
 
@@ -33,7 +33,15 @@ fn main() {
     let run = |dualpar: bool| {
         let mut cfg = paper_cluster();
         cfg.trace_disks = true;
-        run_varying_workload(cfg, dualpar, join, size)
+        let trace = apply_telemetry_args(&mut cfg);
+        let (report, cluster) = run_varying_workload(cfg, dualpar, join, size);
+        // The adaptive run is the interesting one for event traces.
+        if dualpar {
+            if let Some(path) = trace {
+                export_trace_to(&cluster, &path);
+            }
+        }
+        (report, cluster)
     };
     let (vr, vc) = run(false);
     let (dr, dc) = run(true);

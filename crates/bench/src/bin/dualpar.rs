@@ -3,6 +3,10 @@
 //! ```sh
 //! cargo run --release -p dualpar-bench --bin dualpar -- experiment.json
 //! cargo run --release -p dualpar-bench --bin dualpar -- --example > spec.json
+//! cargo run --release -p dualpar-bench --bin dualpar -- experiment.json \
+//!     --telemetry counters            # fold counters into the report JSON
+//! cargo run --release -p dualpar-bench --bin dualpar -- experiment.json \
+//!     --trace events.jsonl            # full event trace as JSON Lines
 //! ```
 //!
 //! A specification names the cluster configuration (all fields optional —
@@ -19,7 +23,7 @@
 //! }
 //! ```
 
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
+use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec, TelemetryLevel};
 use dualpar_sim::SimTime;
 use dualpar_workloads::{Btio, Demo, DependentReader, Hpio, IorMpiIo, MpiIoTest, Noncontig, S3asim, TraceReplay};
 use serde::{Deserialize, Serialize};
@@ -121,8 +125,20 @@ fn add_workload(cluster: &mut Cluster, idx: usize, entry: &ProgramEntry) {
     );
 }
 
+/// Pull `--flag value` out of the argument list, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--example") {
         println!(
             "{}",
@@ -130,15 +146,32 @@ fn main() {
         );
         return;
     }
+    let trace_path = take_flag(&mut args, "--trace");
+    let telemetry = take_flag(&mut args, "--telemetry").map(|lvl| match lvl.as_str() {
+        "off" => TelemetryLevel::Off,
+        "counters" => TelemetryLevel::Counters,
+        "trace" => TelemetryLevel::Trace,
+        other => {
+            eprintln!("unknown telemetry level {other:?} (expected off|counters|trace)");
+            std::process::exit(2);
+        }
+    });
+    if let Some(unknown) = args.iter().skip(1).find(|a| a.starts_with("--")) {
+        eprintln!("unknown flag {unknown} (expected --telemetry, --trace or --example)");
+        std::process::exit(2);
+    }
     let Some(path) = args.get(1) else {
-        eprintln!("usage: dualpar <spec.json>   (or --example to print a template)");
+        eprintln!(
+            "usage: dualpar <spec.json> [--telemetry off|counters|trace] [--trace <out.jsonl>]"
+        );
+        eprintln!("       (or --example to print a spec template)");
         std::process::exit(2);
     };
     let data = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
-    let spec: ExperimentSpec = serde_json::from_str(&data).unwrap_or_else(|e| {
+    let mut spec: ExperimentSpec = serde_json::from_str(&data).unwrap_or_else(|e| {
         eprintln!("invalid spec: {e}");
         std::process::exit(1);
     });
@@ -146,11 +179,30 @@ fn main() {
         eprintln!("spec has no programs");
         std::process::exit(1);
     }
+    // Command-line telemetry flags override the spec: --trace needs the
+    // full event stream, --telemetry picks the level explicitly.
+    if let Some(level) = telemetry {
+        spec.cluster.telemetry.level = level;
+    }
+    if trace_path.is_some() && spec.cluster.telemetry.level != TelemetryLevel::Trace {
+        spec.cluster.telemetry.level = TelemetryLevel::Trace;
+    }
     let mut cluster = Cluster::new(spec.cluster.clone());
     for (i, entry) in spec.programs.iter().enumerate() {
         add_workload(&mut cluster, i, entry);
     }
     let report = cluster.run();
+    if let Some(out) = &trace_path {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(out).unwrap_or_else(|e| {
+            eprintln!("cannot create {out}: {e}");
+            std::process::exit(1);
+        }));
+        cluster.export_trace(&mut w).unwrap_or_else(|e| {
+            eprintln!("cannot write trace to {out}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("event trace written to {out}");
+    }
     eprintln!(
         "{:<14} {:>10} {:>10} {:>10} {:>8} {:>8}",
         "program", "MB/s", "read MB", "write MB", "time s", "phases"

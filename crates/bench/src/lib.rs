@@ -45,6 +45,43 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
+/// Parse `--telemetry <off|counters|trace>` and `--trace <path>` from the
+/// process arguments (reachable via `cargo bench --bench <name> -- --trace
+/// out.jsonl`), apply the level to `cfg`, and return the trace output path
+/// if one was requested. `--trace` implies trace-level telemetry.
+pub fn apply_telemetry_args(cfg: &mut ClusterConfig) -> Option<PathBuf> {
+    use dualpar_cluster::TelemetryLevel;
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    if let Some(level) = value_of("--telemetry") {
+        cfg.telemetry.level = match level.as_str() {
+            "off" => TelemetryLevel::Off,
+            "counters" => TelemetryLevel::Counters,
+            "trace" => TelemetryLevel::Trace,
+            other => panic!("unknown telemetry level {other:?} (expected off|counters|trace)"),
+        };
+    }
+    let path = value_of("--trace").map(PathBuf::from);
+    if path.is_some() && cfg.telemetry.level != dualpar_cluster::TelemetryLevel::Trace {
+        cfg.telemetry.level = dualpar_cluster::TelemetryLevel::Trace;
+    }
+    path
+}
+
+/// Write a finished run's JSONL event trace where `--trace` asked for it.
+pub fn export_trace_to(cluster: &Cluster, path: &std::path::Path) {
+    let file = std::fs::File::create(path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+    let mut w = std::io::BufWriter::new(file);
+    cluster
+        .export_trace(&mut w)
+        .unwrap_or_else(|e| panic!("write trace {path:?}: {e}"));
+    println!("[trace {}]", path.display());
+}
+
 /// Persist a harness's structured output.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));

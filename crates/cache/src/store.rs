@@ -96,6 +96,8 @@ pub struct CacheStats {
     pub bytes_written: u64,
     /// Bytes removed by any eviction path.
     pub bytes_evicted: u64,
+    /// High-water mark of buffered dirty bytes (peak write-back backlog).
+    pub dirty_hwm: u64,
 }
 
 /// The distributed cache (metadata model).
@@ -108,6 +110,10 @@ pub struct GlobalCache {
     /// mis-prefetch ratio).
     epoch_prefetched: HashMap<OwnerId, u64>,
     stats: CacheStats,
+    /// Incremental mirror of [`GlobalCache::dirty_bytes`] — dirty data only
+    /// changes in `put_write` and `drain_dirty` (evictions skip dirty
+    /// chunks), so a running total avoids the O(chunks) scan per update.
+    dirty_now: u64,
 }
 
 impl GlobalCache {
@@ -120,6 +126,7 @@ impl GlobalCache {
             usage: HashMap::new(),
             epoch_prefetched: HashMap::new(),
             stats: CacheStats::default(),
+            dirty_now: 0,
         }
     }
 
@@ -213,8 +220,10 @@ impl GlobalCache {
             let home = self.home_of(file, idx);
             let mut chunk = self.chunks.remove(&(file, idx)).unwrap_or_default();
             let before = chunk.present.covered();
+            let dirty_before = chunk.dirty.covered();
             chunk.present.insert(sub.offset, sub.len);
             chunk.dirty.insert(sub.offset, sub.len);
+            self.dirty_now += chunk.dirty.covered() - dirty_before;
             // Written bytes are live data, not speculative.
             chunk.prefetched_unused.remove(sub.offset, sub.len);
             chunk.last_ref = now;
@@ -224,6 +233,7 @@ impl GlobalCache {
             homes.push((home, sub.len));
         }
         self.stats.bytes_written += region.len;
+        self.stats.dirty_hwm = self.stats.dirty_hwm.max(self.dirty_now);
         for &(home, _) in &homes {
             self.enforce_node_capacity(home);
         }
@@ -350,6 +360,7 @@ impl GlobalCache {
             }
             chunk.dirty.clear();
         }
+        self.dirty_now = 0;
         out.sort_by_key(|&(f, r)| (f, r.offset));
         // Merge adjacent regions of the same file (chunk boundaries split
         // logically contiguous writes).
@@ -367,9 +378,13 @@ impl GlobalCache {
     }
 
     /// Total dirty bytes currently buffered.
-    /// Total dirty bytes currently buffered.
     pub fn dirty_bytes(&self) -> u64 {
-        self.chunks.values().map(|c| c.dirty.covered()).sum()
+        debug_assert_eq!(
+            self.dirty_now,
+            self.chunks.values().map(|c| c.dirty.covered()).sum::<u64>(),
+            "incremental dirty counter out of sync"
+        );
+        self.dirty_now
     }
 
     /// Bytes charged to `owner`.
@@ -630,6 +645,22 @@ mod tests {
         // Over capacity, but both chunks are dirty: nothing may be lost.
         assert_eq!(c.dirty_bytes(), 2 * CHUNK);
         assert!(c.node_bytes(NodeId(0)) > CHUNK);
+    }
+
+    #[test]
+    fn dirty_high_water_mark_tracks_peak_backlog() {
+        let mut c = cache(1);
+        c.put_write(OwnerId(1), f(1), FileRegion::new(0, 300), SimTime::ZERO);
+        c.put_write(OwnerId(1), f(1), FileRegion::new(1000, 200), SimTime::ZERO);
+        // Overlapping re-write adds no new dirty bytes.
+        c.put_write(OwnerId(1), f(1), FileRegion::new(0, 300), SimTime::ZERO);
+        assert_eq!(c.dirty_bytes(), 500);
+        assert_eq!(c.stats().dirty_hwm, 500);
+        c.drain_dirty();
+        assert_eq!(c.dirty_bytes(), 0);
+        // The mark persists after drain; a smaller later burst can't lower it.
+        c.put_write(OwnerId(1), f(1), FileRegion::new(0, 100), SimTime::ZERO);
+        assert_eq!(c.stats().dirty_hwm, 500);
     }
 
     #[test]

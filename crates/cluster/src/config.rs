@@ -4,6 +4,7 @@ use dualpar_core::DualParConfig;
 use dualpar_disk::{DiskParams, SchedulerKind};
 use dualpar_mpiio::{CollectiveConfig, ProgramScript, SieveConfig};
 use dualpar_sim::{SimDuration, SimTime};
+use dualpar_telemetry::TelemetryConfig;
 use serde::{Deserialize, Serialize};
 
 /// How a program's I/O calls are executed.
@@ -80,6 +81,7 @@ pub enum ServerWriteMode {
 /// Static description of the simulated cluster (paper §V: Darwin with nine
 /// PVFS2 data servers, 64 KB striping, CFQ, Gigabit Ethernet).
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
 pub struct ClusterConfig {
     /// Data servers (each with one disk).
     pub num_data_servers: u32,
@@ -127,6 +129,10 @@ pub struct ClusterConfig {
     pub s2_window: usize,
     /// Master seed for every deterministic random stream.
     pub seed: u64,
+    /// Instrumentation level and trace capacity (off by default; absent
+    /// from serialized configs written before telemetry existed).
+    #[serde(default)]
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ClusterConfig {
@@ -152,6 +158,7 @@ impl Default for ClusterConfig {
             s2_issue_gap: SimDuration::from_micros(50),
             s2_window: 4,
             seed: 42,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }

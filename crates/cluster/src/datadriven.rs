@@ -56,6 +56,7 @@ impl Cluster {
             let prog = self.procs[p].prog;
             self.programs[prog].io_time += dur;
             self.programs[prog].bytes_read += bytes;
+            self.tele.count("io.bytes_read", bytes);
             self.timeline.record(done, bytes as f64);
             self.queue.schedule(done, Ev::ProcReady(p));
             return;
@@ -90,6 +91,9 @@ impl Cluster {
         let prog = self.procs[p].prog;
         self.programs[prog].io_time += dur;
         self.programs[prog].bytes_written += bytes;
+        self.tele.count("io.bytes_written", bytes);
+        self.tele
+            .gauge_max("cache.dirty_bytes_max", self.cache.dirty_bytes() as f64);
         self.timeline.record(done, bytes as f64);
         // Quota check: a full cache suspends the process until the
         // program-wide write-back (§IV-C "when caches assigned to every
@@ -154,6 +158,8 @@ impl Cluster {
             Phase::Normal => {
                 // First suspension opens a pre-execution phase.
                 self.programs[prog].phase = Phase::PreExec { waiting_ghosts: 0 };
+                self.programs[prog].phase_opened = at;
+                self.tele.count("phase.opened", 1);
                 self.start_ghost(at, p);
                 let rate = self.procs[p].clock.io_bytes_per_sec();
                 let bound = expected_fill_time(&self.cfg.dualpar, rate);
@@ -295,7 +301,27 @@ impl Cluster {
         // Re-insert attribution later: build the plan from bare regions.
         let bare: Vec<(FileId, FileRegion)> =
             recordings.iter().map(|&(_, f, r)| (f, r)).collect();
+        let recorded_n = bare.len() as u64;
         let pf = plan_prefetch(&self.cfg.dualpar, bare);
+        // Phase + coalescing telemetry: pre-execution duration, staged batch
+        // sizes, and how far planning shrank the recorded region list.
+        let preexec_secs = now.since(self.programs[prog].phase_opened).as_secs_f64();
+        let wb_n = wb.writes.len() as u64;
+        let pf_n = pf.reads.len() as u64;
+        let seq = self.programs[prog].phase_seq;
+        self.tele.count("phase.batches", 1);
+        self.tele.observe("phase.preexec_secs", preexec_secs);
+        self.tele.count("phase.recorded_regions", recorded_n);
+        self.tele.count("phase.writeback_covers", wb_n);
+        self.tele.count("phase.prefetch_covers", pf_n);
+        self.tele.event(now.as_secs_f64(), "crm", "phase", |e| {
+            e.u64("program", prog as u64)
+                .u64("seq", seq)
+                .u64("recorded", recorded_n)
+                .u64("writes", wb_n)
+                .u64("reads", pf_n)
+                .f64("preexec_secs", preexec_secs)
+        });
         self.programs[prog].staged_writes = wb.writes;
         self.programs[prog].staged_prefetch = pf.reads;
         // Stash per-owner recordings for cache insertion at prefetch
@@ -348,7 +374,8 @@ impl Cluster {
         }
         for (node, pieces) in per_node {
             let ctx = self.effective_ctx(prog, self.crm_ctx(prog, node));
-            self.issue_covers(now, group, node, ctx, kind, &pieces);
+            let n = self.issue_covers(now, group, node, ctx, kind, &pieces);
+            self.tele.count("crm.subrequests", n as u64);
         }
     }
 
@@ -472,6 +499,7 @@ impl Cluster {
             let prog = self.procs[p].prog;
             self.programs[prog].io_time += dur;
             self.programs[prog].bytes_read += bytes;
+            self.tele.count("io.bytes_read", bytes);
             self.timeline.record(done, bytes as f64);
             self.queue.schedule(done, Ev::ProcReady(p));
             return;

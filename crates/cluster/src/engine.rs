@@ -11,6 +11,7 @@ use dualpar_disk::{Disk, DiskRequest, IoCtx, IoKind, Lbn, StartOutcome};
 use dualpar_mpiio::{CoalescedIo, ProcessScript};
 use dualpar_pfs::{FileId, FileRegion, Pvfs};
 use dualpar_sim::{EventId, EventQueue, Link, SimDuration, SimTime, TimeSeries};
+use dualpar_telemetry::Telemetry;
 use std::collections::{HashMap, HashSet};
 
 /// Safety valve: a single experiment should never need more events.
@@ -77,10 +78,29 @@ pub(crate) enum Purpose {
     FlushWriteback { prog: usize, finalize: bool },
 }
 
+impl Purpose {
+    /// Short label for per-purpose telemetry (group latency histograms).
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            Purpose::VanillaRegion { .. } => "vanilla_region",
+            Purpose::S2Prefetch { .. } => "s2_prefetch",
+            Purpose::DirectFetch { .. } => "direct_fetch",
+            Purpose::CollIo { .. } => "coll_io",
+            Purpose::CollResume { .. } => "coll_resume",
+            Purpose::PhaseFill { .. } => "phase_fill",
+            Purpose::PhaseWriteback { .. } => "phase_writeback",
+            Purpose::PhasePrefetch { .. } => "phase_prefetch",
+            Purpose::FlushWriteback { .. } => "flush_writeback",
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct Group {
     pub remaining: usize,
     pub purpose: Purpose,
+    /// When the group was opened (for completion-latency histograms).
+    pub opened: SimTime,
 }
 
 /// Process execution state.
@@ -184,6 +204,8 @@ pub(crate) struct Program {
     pub final_flush_pending: bool,
     /// Exchange volume/messages of the collective call in flight.
     pub coll_exchange: (u64, u64),
+    /// When the current pre-execution phase opened (telemetry).
+    pub phase_opened: SimTime,
 }
 
 impl Program {
@@ -222,6 +244,7 @@ pub struct Cluster {
     pub(crate) finished_programs: usize,
     pub(crate) emc_active: bool,
     pub(crate) next_ctx: u32,
+    pub(crate) tele: Telemetry,
 }
 
 impl Cluster {
@@ -253,6 +276,7 @@ impl Cluster {
             .map(|_| ReqDistTracker::new())
             .collect();
         let rng = dualpar_sim::DetRng::for_stream(cfg.seed, "cluster");
+        let tele = Telemetry::new(&cfg.telemetry);
         let nservers = cfg.num_data_servers as usize;
         Cluster {
             cfg,
@@ -281,6 +305,7 @@ impl Cluster {
             finished_programs: 0,
             emc_active: false,
             next_ctx: 1,
+            tele,
         }
     }
 
@@ -390,7 +415,20 @@ impl Cluster {
             mis_n: 0,
             final_flush_pending: false,
             coll_exchange: (0, 0),
+            phase_opened: SimTime::ZERO,
         });
+        if mode == ExecMode::DataDriven {
+            // Forced-mode programs never pass through EMC, so record their
+            // standing decision in the trace (not in `RunReport.mode_events`,
+            // which is reserved for EMC-applied switches).
+            self.tele.count("emc.mode_forced", 1);
+            self.tele
+                .event(spec.start_at.as_secs_f64(), "emc", "mode", |e| {
+                    e.u64("program", idx as u64)
+                        .str("mode", ExecMode::DataDriven.label())
+                        .str("reason", "forced")
+                });
+        }
         self.queue.schedule(spec.start_at, Ev::Start(idx));
         idx
     }
@@ -398,6 +436,17 @@ impl Cluster {
     /// Access a server's disk (for trace inspection after a run).
     pub fn disk(&self, server: u32) -> &Disk {
         &self.disks[server as usize]
+    }
+
+    /// The telemetry instance (counters, series, and the event trace).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
+    }
+
+    /// Write the recorded JSONL event trace to `w`. Emits nothing below
+    /// [`dualpar_telemetry::TelemetryLevel::Trace`].
+    pub fn export_trace<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.tele.trace().export_jsonl(w)
     }
 
     /// Current simulated time.
@@ -444,7 +493,15 @@ impl Cluster {
     pub(crate) fn new_group(&mut self, purpose: Purpose) -> u64 {
         let id = self.next_group;
         self.next_group += 1;
-        self.groups.insert(id, Group { remaining: 0, purpose });
+        let opened = self.queue.now();
+        self.groups.insert(
+            id,
+            Group {
+                remaining: 0,
+                purpose,
+                opened,
+            },
+        );
         id
     }
 
@@ -541,7 +598,26 @@ impl Cluster {
         self.report()
     }
 
+    /// Static counter name for an event kind (dispatch accounting).
+    fn ev_counter(ev: &Ev) -> &'static str {
+        match ev {
+            Ev::Start(_) => "engine.ev.start",
+            Ev::ProcReady(_) => "engine.ev.proc_ready",
+            Ev::ServerRecv { .. } => "engine.ev.server_recv",
+            Ev::DiskKick(_) => "engine.ev.disk_kick",
+            Ev::DiskDone(_) => "engine.ev.disk_done",
+            Ev::SubDone { .. } => "engine.ev.sub_done",
+            Ev::GhostDone { .. } => "engine.ev.ghost_done",
+            Ev::PhaseTimeout { .. } => "engine.ev.phase_timeout",
+            Ev::EmcTick => "engine.ev.emc_tick",
+            Ev::ServerFlush(_) => "engine.ev.server_flush",
+        }
+    }
+
     fn handle(&mut self, now: SimTime, ev: Ev) {
+        self.tele.count(Self::ev_counter(&ev), 1);
+        self.tele
+            .gauge_max("engine.queue_depth_max", self.queue.len() as f64);
         match ev {
             Ev::Start(prog) => self.on_start(now, prog),
             Ev::ProcReady(p) => self.advance(now, p),
@@ -567,6 +643,10 @@ impl Cluster {
                     }
                 } else {
                     self.disks[server as usize].enqueue(req);
+                    self.tele.gauge_max(
+                        "disk.queue_depth_max",
+                        self.disks[server as usize].queued() as f64,
+                    );
                     if !self.disks[server as usize].is_busy() {
                         self.kick_disk(now, server);
                     }
@@ -665,9 +745,27 @@ impl Cluster {
             self.emc.report_times(ProgramId(idx as u32), io, total);
         }
         let changes = self.emc.tick();
+        let t = now.as_secs_f64();
         if let Some(imp) = self.emc.last_improvement() {
             if imp.is_finite() {
-                self.emc_improvement.push((now.as_secs_f64(), imp));
+                self.emc_improvement.push((t, imp));
+                self.tele.sample("emc.improvement", t, imp);
+            }
+        }
+        if self.tele.enabled() {
+            // Per-program slot observations: the io_ratio EMC saw and the
+            // mode it decided on, one series point and one trace record per
+            // program per tick.
+            let samples: Vec<_> = self.emc.last_tick_samples().to_vec();
+            for s in samples {
+                self.tele
+                    .sample(&format!("emc.io_ratio.p{}", s.program.0), t, s.io_ratio);
+                self.tele.event(t, "emc", "tick", |e| {
+                    e.u64("program", s.program.0 as u64)
+                        .f64("io_ratio", s.io_ratio)
+                        .str("mode", s.mode.label())
+                        .u64("vetoed", s.vetoed as u64)
+                });
             }
         }
         for ch in changes {
@@ -680,6 +778,12 @@ impl Cluster {
                 at: now,
                 program_index: idx,
                 mode: ch.mode,
+            });
+            self.tele.count("emc.mode_switches", 1);
+            self.tele.event(t, "emc", "mode", |e| {
+                e.u64("program", idx as u64)
+                    .str("mode", ch.mode.label())
+                    .str("reason", "emc")
             });
             if ch.mode == ExecMode::ComputationDriven {
                 self.flush_on_revert(now, idx);
@@ -701,7 +805,47 @@ impl Cluster {
 
     // ----- reporting ----------------------------------------------------
 
-    fn report(&self) -> RunReport {
+    /// Fold end-of-run substrate statistics (cache counters, disk seek and
+    /// per-context service totals) into the telemetry registry so the final
+    /// snapshot carries them. No-op when telemetry is off.
+    fn finalize_telemetry(&mut self) {
+        if !self.tele.enabled() {
+            return;
+        }
+        let cs = self.cache.stats();
+        self.tele.count("cache.read_probes", cs.read_probes);
+        self.tele.count("cache.read_hits", cs.read_hits);
+        self.tele
+            .count("cache.read_misses", cs.read_probes - cs.read_hits);
+        self.tele.count("cache.bytes_prefetched", cs.bytes_prefetched);
+        self.tele.count("cache.bytes_written", cs.bytes_written);
+        self.tele.count("cache.bytes_evicted", cs.bytes_evicted);
+        self.tele.gauge_set("cache.dirty_hwm", cs.dirty_hwm as f64);
+        let mut seek_total = 0u64;
+        for i in 0..self.disks.len() {
+            let disk = &self.disks[i];
+            let seek = disk.total_seek_distance();
+            let busy = disk.total_busy().as_secs_f64();
+            let per_ctx: Vec<f64> = disk
+                .per_ctx_service()
+                .values()
+                .map(|d| d.as_secs_f64())
+                .collect();
+            seek_total += seek;
+            self.tele
+                .gauge_set(&format!("disk.d{i}.seek_sectors"), seek as f64);
+            self.tele.gauge_set(&format!("disk.d{i}.busy_secs"), busy);
+            for secs in per_ctx {
+                self.tele.observe("disk.ctx_service_secs", secs);
+            }
+        }
+        self.tele.count("disk.seek_sectors_total", seek_total);
+        self.tele
+            .gauge_set("engine.events_processed", self.events_processed as f64);
+    }
+
+    fn report(&mut self) -> RunReport {
+        self.finalize_telemetry();
         let programs = self
             .programs
             .iter()
@@ -730,6 +874,7 @@ impl Cluster {
             emc_improvement: self.emc_improvement.clone(),
             disk_bytes: self.disks.iter().map(|d| d.bytes_serviced()).sum(),
             events_processed: self.events_processed,
+            telemetry: self.tele.snapshot(),
         }
     }
 

@@ -181,6 +181,14 @@ impl Cluster {
             IoKind::Read => program.bytes_read += bytes,
             IoKind::Write => program.bytes_written += bytes,
         }
+        self.tele.count(
+            match call.kind {
+                IoKind::Read => "io.bytes_read",
+                IoKind::Write => "io.bytes_written",
+            },
+            bytes,
+        );
+        self.tele.observe("io.op_secs", dur.as_secs_f64());
         self.timeline.record(now, bytes as f64);
         self.advance(now, p);
     }
@@ -297,12 +305,24 @@ impl Cluster {
                 IoKind::Write => program.bytes_written += total,
             }
         }
+        self.tele.count(
+            match kind {
+                IoKind::Read => "io.bytes_read",
+                IoKind::Write => "io.bytes_written",
+            },
+            total,
+        );
         self.timeline.record(now, total as f64);
     }
 
     // ----- group dispatch -------------------------------------------------
 
     pub(crate) fn dispatch_group(&mut self, now: SimTime, group: Group) {
+        if self.tele.enabled() {
+            let secs = now.since(group.opened).as_secs_f64();
+            let name = format!("group.latency_secs.{}", group.purpose.label());
+            self.tele.observe(&name, secs);
+        }
         match group.purpose {
             Purpose::VanillaRegion { proc } => self.vanilla_issue_next(now, proc),
             Purpose::DirectFetch { proc } => self.direct_fetch_done(now, proc),

@@ -11,9 +11,25 @@ mod datadriven;
 mod engine;
 mod exec;
 
+pub mod builder;
 pub mod config;
 pub mod metrics;
 
+pub use builder::{Experiment, ExperimentError};
 pub use config::{ClusterConfig, CtxMode, IoStrategy, ProgramSpec, ServerWriteMode};
 pub use engine::Cluster;
 pub use metrics::{ModeEvent, ProgramReport, RunReport};
+pub use dualpar_telemetry::{Telemetry, TelemetryConfig, TelemetryLevel, TelemetrySnapshot};
+
+/// One-line import for experiment scripts: `use dualpar_cluster::prelude::*;`.
+pub mod prelude {
+    pub use crate::builder::{Experiment, ExperimentError};
+    pub use crate::config::{ClusterConfig, CtxMode, IoStrategy, ProgramSpec, ServerWriteMode};
+    pub use crate::engine::Cluster;
+    pub use crate::metrics::{ModeEvent, ProgramReport, RunReport};
+    pub use dualpar_disk::{IoKind, SchedulerKind};
+    pub use dualpar_mpiio::{IoCall, Op, ProcessScript, ProgramScript};
+    pub use dualpar_pfs::{FileId, FileRegion};
+    pub use dualpar_sim::{SimDuration, SimTime};
+    pub use dualpar_telemetry::{TelemetryConfig, TelemetryLevel};
+}

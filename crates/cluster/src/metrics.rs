@@ -2,6 +2,7 @@
 
 use dualpar_core::ExecMode;
 use dualpar_sim::{SimDuration, SimTime, TimeSeries};
+use dualpar_telemetry::TelemetrySnapshot;
 use serde::Serialize;
 
 /// Outcome of one program.
@@ -84,6 +85,10 @@ pub struct RunReport {
     pub disk_bytes: u64,
     /// Events the simulator processed.
     pub events_processed: u64,
+    /// Metric snapshot when telemetry was enabled for the run; `None`
+    /// otherwise. The raw JSONL event trace is exported separately (see
+    /// `Cluster::export_trace`).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl RunReport {
@@ -159,6 +164,7 @@ mod tests {
             emc_improvement: vec![],
             disk_bytes: 0,
             events_processed: 0,
+            telemetry: None,
         };
         // makespan = 0..20 s, 200 MB total.
         assert!((r.aggregate_throughput_mbps() - 10.0).abs() < 1e-9);

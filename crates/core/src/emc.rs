@@ -32,6 +32,16 @@ pub enum ExecMode {
     DataDriven,
 }
 
+impl ExecMode {
+    /// Snake-case label for reports and telemetry traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::ComputationDriven => "computation_driven",
+            ExecMode::DataDriven => "data_driven",
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct ProgramState {
     mode: Option<ExecMode>, // None until first tick
@@ -51,6 +61,20 @@ pub struct ModeChange {
     pub mode: ExecMode,
 }
 
+/// Per-program observation from the most recent tick — the inputs and
+/// outcome of the slot's decision, exposed for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickSample {
+    /// The observed program.
+    pub program: ProgramId,
+    /// Its I/O ratio over the slot (time in I/O ÷ total time).
+    pub io_ratio: f64,
+    /// The mode the program is in after the decision.
+    pub mode: ExecMode,
+    /// Whether the mis-prefetch veto has permanently disabled the mode.
+    pub vetoed: bool,
+}
+
 /// The EMC daemon state.
 pub struct Emc {
     cfg: DualParConfig,
@@ -61,6 +85,8 @@ pub struct Emc {
     req_samples: Vec<f64>,
     /// Last computed improvement ratio (for diagnostics/plots).
     last_improvement: Option<f64>,
+    /// Per-program observations from the last tick (for telemetry).
+    last_samples: Vec<TickSample>,
 }
 
 impl Emc {
@@ -72,6 +98,7 @@ impl Emc {
             seek_samples: Vec::new(),
             req_samples: Vec::new(),
             last_improvement: None,
+            last_samples: Vec::new(),
         }
     }
 
@@ -118,6 +145,11 @@ impl Emc {
         self.last_improvement
     }
 
+    /// Per-program observations from the last tick, sorted by program id.
+    pub fn last_tick_samples(&self) -> &[TickSample] {
+        &self.last_samples
+    }
+
     /// Current mode of `program` (computation-driven if unknown).
     pub fn mode_of(&self, program: ProgramId) -> ExecMode {
         self.programs
@@ -144,6 +176,7 @@ impl Emc {
         self.last_improvement = improvement;
 
         let mut changes = Vec::new();
+        self.last_samples.clear();
         for (&prog, st) in self.programs.iter_mut() {
             // Mis-prefetch check first: it vetoes the mode permanently.
             if st.misprefetch_n > 0 {
@@ -181,6 +214,12 @@ impl Emc {
             };
             let current = st.mode.unwrap_or(ExecMode::ComputationDriven);
             st.mode = Some(want);
+            self.last_samples.push(TickSample {
+                program: prog,
+                io_ratio,
+                mode: want,
+                vetoed: st.disabled_by_misprefetch,
+            });
             if current != want {
                 changes.push(ModeChange {
                     program: prog,
@@ -189,6 +228,7 @@ impl Emc {
             }
         }
         changes.sort_by_key(|c| c.program);
+        self.last_samples.sort_by_key(|s| s.program);
         changes
     }
 }

@@ -2,10 +2,11 @@
 //! start/complete protocol driven by the owning event loop.
 
 use crate::model::{DiskParams, Lbn};
-use crate::request::DiskRequest;
+use crate::request::{DiskRequest, IoCtx};
 use crate::sched::{Decision, Scheduler, SchedulerKind};
 use crate::trace::{BlockTrace, TraceRecord};
 use dualpar_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// Outcome of asking the disk to start its next piece of work.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +35,8 @@ pub struct Disk {
     in_flight: Option<DiskRequest>,
     total_busy: SimDuration,
     bytes_serviced: u64,
+    total_seek: u64,
+    per_ctx_busy: BTreeMap<IoCtx, SimDuration>,
 }
 
 impl Disk {
@@ -47,6 +50,8 @@ impl Disk {
             in_flight: None,
             total_busy: SimDuration::ZERO,
             bytes_serviced: 0,
+            total_seek: 0,
+            per_ctx_busy: BTreeMap::new(),
         }
     }
 
@@ -88,6 +93,16 @@ impl Disk {
     /// Cumulative bytes moved (reads + writes).
     pub fn bytes_serviced(&self) -> u64 {
         self.bytes_serviced
+    }
+
+    /// Cumulative head travel (sectors) across all dispatched requests.
+    pub fn total_seek_distance(&self) -> u64 {
+        self.total_seek
+    }
+
+    /// Cumulative service time attributed to each issuing context.
+    pub fn per_ctx_service(&self) -> &BTreeMap<IoCtx, SimDuration> {
+        &self.per_ctx_busy
     }
 
     /// Queue a request. The caller should then call [`Disk::try_start`] and
@@ -140,6 +155,8 @@ impl Disk {
                 });
                 let finish = now + service;
                 self.total_busy += service;
+                self.total_seek += dist;
+                *self.per_ctx_busy.entry(req.ctx).or_insert(SimDuration::ZERO) += service;
                 self.bytes_serviced += req.sectors * crate::model::SECTOR_BYTES;
                 self.head = req.end();
                 self.in_flight = Some(req);

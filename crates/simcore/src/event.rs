@@ -47,6 +47,10 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     cancelled: std::collections::HashSet<u64>,
+    /// Seqs scheduled but neither fired nor cancelled. Needed so `len` and
+    /// `cancel` can tell a pending id from one that already fired (lazy
+    /// deletion leaves fired/cancelled seqs indistinguishable otherwise).
+    pending: std::collections::HashSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -62,6 +66,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             cancelled: std::collections::HashSet::new(),
+            pending: std::collections::HashSet::new(),
         }
     }
 
@@ -73,7 +78,7 @@ impl<E> EventQueue<E> {
 
     /// Number of live (not cancelled) events still pending.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -93,6 +98,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pending.insert(seq);
         self.heap.push(Entry {
             time: at,
             seq,
@@ -106,8 +112,8 @@ impl<E> EventQueue<E> {
     /// still pending. Cancelling an already-fired or unknown id is a no-op.
     pub fn cancel(&mut self, id: EventId) -> bool {
         // Lazy deletion: mark and skip at pop time.
-        if id.0 >= self.next_seq {
-            return false;
+        if !self.pending.remove(&id.0) {
+            return false; // already fired, already cancelled, or unknown
         }
         self.cancelled.insert(id.0)
     }
@@ -119,6 +125,7 @@ impl<E> EventQueue<E> {
                 continue;
             }
             debug_assert!(entry.time >= self.now, "event queue time inversion");
+            self.pending.remove(&entry.seq);
             self.now = entry.time;
             return Some((entry.time, entry.payload));
         }
@@ -160,6 +167,24 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop_and_len_stays_consistent() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime(1), "a");
+        q.schedule(SimTime(2), "b");
+        assert_eq!(q.len(), 2);
+        let _ = q.pop(); // "a" fires
+        assert!(!q.cancel(id), "cancelling a fired event must be a no-op");
+        assert_eq!(q.len(), 1);
+        let id2 = q.schedule(SimTime(3), "c");
+        assert!(q.cancel(id2));
+        assert!(!q.cancel(id2), "double cancel must be a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! cargo run --release -p dualpar-bench --example checkpoint
 //! ```
 
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
+use dualpar_cluster::prelude::*;
 use dualpar_workloads::Btio;
 
 fn main() {
@@ -21,16 +21,17 @@ fn main() {
     println!("BTIO-style checkpoint: 64 processes, 16-byte cells, 24 MB per run\n");
     let mut base = None;
     for strategy in strategies {
-        let mut cluster = Cluster::new(ClusterConfig::default());
         let workload = Btio {
             nprocs: 64,
             dataset: 24 << 20,
             collective: strategy == IoStrategy::Collective,
             ..Default::default()
         };
-        let file = cluster.create_file("checkpoint.bt", workload.file_size());
-        cluster.add_program(ProgramSpec::new(workload.build(file), strategy));
-        let report = cluster.run();
+        let report = Experiment::darwin()
+            .file("checkpoint.bt", workload.file_size())
+            .program(strategy, move |files| workload.build(files[0]))
+            .run()
+            .expect("valid experiment");
         let p = &report.programs[0];
         let thr = p.throughput_mbps();
         let speedup = base.map(|b: f64| thr / b).unwrap_or(1.0);

@@ -10,9 +10,8 @@
 //! cargo run --release -p dualpar-bench --example custom_workload
 //! ```
 
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
-use dualpar_mpiio::{Datatype, IoCall, IoKind, Op, ProcessScript, ProgramScript};
-use dualpar_sim::SimDuration;
+use dualpar_cluster::prelude::*;
+use dualpar_mpiio::Datatype;
 
 /// Grid side in elements; 8-byte elements; 4×4 rank blocks.
 const GRID: u64 = 2048;
@@ -33,7 +32,7 @@ fn rank_block(rank: u64) -> Datatype {
     }
 }
 
-fn build(file: dualpar_pfs::FileId) -> ProgramScript {
+fn build(file: FileId) -> ProgramScript {
     let nprocs = (BLOCKS * BLOCKS) as usize;
     let ranks = (0..nprocs as u64)
         .map(|rank| {
@@ -74,10 +73,11 @@ fn main() {
         BLOCKS * BLOCKS
     );
     for strategy in [IoStrategy::Vanilla, IoStrategy::DualPar] {
-        let mut cluster = Cluster::new(ClusterConfig::default());
-        let file = cluster.create_file("field.dat", bytes);
-        cluster.add_program(ProgramSpec::new(build(file), strategy));
-        let report = cluster.run();
+        let report = Experiment::darwin()
+            .file("field.dat", bytes)
+            .program(strategy, |files| build(files[0]))
+            .run()
+            .expect("valid experiment");
         let p = &report.programs[0];
         println!(
             "{:<10} {:>7.2} s  wrote {:>6.1} MB  read {:>5.1} MB  {} phases  {} mode switches",

@@ -11,8 +11,7 @@
 //! cargo run --release -p dualpar-bench --example interference
 //! ```
 
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
-use dualpar_sim::SimTime;
+use dualpar_cluster::prelude::*;
 use dualpar_workloads::{Hpio, MpiIoTest};
 
 fn run(adaptive: bool) {
@@ -21,27 +20,28 @@ fn run(adaptive: bool) {
     } else {
         IoStrategy::Vanilla
     };
-    let mut cluster = Cluster::new(ClusterConfig::default());
     let stream = MpiIoTest {
         nprocs: 16,
         file_size: 2 << 30,
         barrier_every: 8,
         ..Default::default()
     };
-    let f1 = cluster.create_file("stream", stream.file_size);
-    cluster.add_program(ProgramSpec::new(stream.build(f1), strategy));
-
     let hpio = Hpio {
         nprocs: 16,
         region_count: 1024,
         ..Default::default()
     };
-    let f2 = cluster.create_file("hpio", hpio.file_size());
-    let mut late = hpio.build(f2);
-    late.name = "hpio".into();
-    cluster.add_program(ProgramSpec::new(late, strategy).starting_at(SimTime::from_secs(10)));
-
-    let report = cluster.run();
+    let report = Experiment::darwin()
+        .file("stream", stream.file_size)
+        .file("hpio", hpio.file_size())
+        .program(strategy, move |files| stream.build(files[0]))
+        .program_at(strategy, SimTime::from_secs(10), move |files| {
+            let mut late = hpio.build(files[1]);
+            late.name = "hpio".into();
+            late
+        })
+        .run()
+        .expect("valid experiment");
     println!("--- {} ---", strategy.label());
     // Per-second throughput timeline (MB/s), decimated for display.
     print!("throughput: ");

@@ -5,37 +5,38 @@
 //! cargo run --release -p dualpar-bench --example quickstart
 //! ```
 
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
+use dualpar_cluster::prelude::*;
 use dualpar_workloads::MpiIoTest;
 
 fn main() {
-    // The paper's platform: nine PVFS2-style data servers with 7200-RPM
-    // disks behind CFQ, 64 KB striping, GigE. All defaults.
-    let config = ClusterConfig::default();
-
     for strategy in [IoStrategy::Vanilla, IoStrategy::DualParForced] {
-        // A fresh cluster per run so disk layout and caches are identical.
-        let mut cluster = Cluster::new(config.clone());
-
         // The mpi-io-test benchmark: 64 processes cooperatively reading a
-        // 256 MB file in interleaved 16 KB segments.
+        // 256 MB file in interleaved 16 KB segments, on the paper's Darwin
+        // platform (nine PVFS2-style data servers, CFQ, 64 KB stripes).
         let workload = MpiIoTest {
             nprocs: 64,
             file_size: 256 << 20,
             ..Default::default()
         };
-        let file = cluster.create_file("dataset.bin", workload.file_size);
-        cluster.add_program(ProgramSpec::new(workload.build(file), strategy));
-
-        let report = cluster.run();
+        let report = Experiment::darwin()
+            .telemetry(TelemetryLevel::Counters)
+            .file("dataset.bin", workload.file_size)
+            .program(strategy, move |files| workload.build(files[0]))
+            .run()
+            .expect("valid experiment");
         let p = &report.programs[0];
+        let seek = report
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.counters.get("disk.seek_sectors_total").copied())
+            .unwrap_or(0);
         println!(
-            "{:<16} {:>8.1} MB/s   elapsed {:>6.2} s   {} data-driven phases   ({} events)",
+            "{:<16} {:>8.1} MB/s   elapsed {:>6.2} s   {} data-driven phases   {:>12} sectors seeked",
             strategy.label(),
             p.throughput_mbps(),
             p.elapsed().as_secs_f64(),
             p.phases,
-            report.events_processed,
+            seek,
         );
     }
     println!("\nDualPar suspends the processes, pre-executes them to learn the");

@@ -6,7 +6,7 @@
 //! cargo run --release -p dualpar-bench --example seqsearch
 //! ```
 
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
+use dualpar_cluster::prelude::*;
 use dualpar_workloads::S3asim;
 
 fn main() {
@@ -16,8 +16,8 @@ fn main() {
         IoStrategy::Collective,
         IoStrategy::DualParForced,
     ] {
-        let mut cluster = Cluster::new(ClusterConfig::default());
-        for i in 0..3 {
+        let mut exp = Experiment::darwin();
+        for i in 0..3u64 {
             let workload = S3asim {
                 nprocs: 32,
                 queries: 16,
@@ -27,13 +27,18 @@ fn main() {
                 seed: 7 + i,
                 ..Default::default()
             };
-            let db = cluster.create_file(&format!("db{i}"), workload.db_size);
-            let res = cluster.create_file(&format!("results{i}"), workload.result_size);
-            let mut script = workload.build(db, res);
-            script.name = format!("s3asim{i}");
-            cluster.add_program(ProgramSpec::new(script, strategy));
+            exp = exp
+                .file(format!("db{i}"), workload.db_size)
+                .file(format!("results{i}"), workload.result_size)
+                .program(strategy, move |files| {
+                    // Files land in declaration order: (db, results) pairs.
+                    let (db, res) = (files[2 * i as usize], files[2 * i as usize + 1]);
+                    let mut script = workload.build(db, res);
+                    script.name = format!("s3asim{i}");
+                    script
+                });
         }
-        let report = cluster.run();
+        let report = exp.run().expect("valid experiment");
         let total_io: f64 = report
             .programs
             .iter()

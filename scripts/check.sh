@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo gate: build, test, lint. Run before every commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline --all-targets -- -D warnings
+echo "check.sh: all green"

@@ -2,37 +2,30 @@
 //! flushes, mode reversion, cache pressure, fragmented allocation,
 //! degenerate cluster shapes, and collective edge cases.
 
-use dualpar_cluster::config::ServerWriteMode;
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
-use dualpar_mpiio::{IoCall, IoKind, Op, ProcessScript, ProgramScript};
-use dualpar_pfs::{AllocConfig, FileRegion};
-use dualpar_sim::SimDuration;
+use dualpar_cluster::prelude::*;
+use dualpar_pfs::AllocConfig;
 use dualpar_workloads::{DependentReader, MpiIoTest, Noncontig};
 
-fn small() -> ClusterConfig {
-    ClusterConfig {
-        num_data_servers: 3,
-        num_compute_nodes: 2,
-        ..ClusterConfig::default()
-    }
+fn small() -> Experiment {
+    Experiment::darwin().servers(3).compute_nodes(2)
 }
 
 /// Buffered writes that never fill the quota must still reach the disks
 /// via the final flush when the program completes.
 #[test]
 fn final_flush_writes_buffered_data() {
-    let mut cfg = small();
-    cfg.dualpar.cache_quota = 64 << 20; // far larger than the footprint
-    let mut c = Cluster::new(cfg);
     let w = MpiIoTest {
         nprocs: 4,
         file_size: 4 << 20,
         kind: IoKind::Write,
         ..Default::default()
     };
-    let f = c.create_file("w", w.file_size);
-    c.add_program(ProgramSpec::new(w.build(f), IoStrategy::DualParForced));
-    let r = c.run();
+    let r = small()
+        .tune(|cfg| cfg.dualpar.cache_quota = 64 << 20) // far larger than the footprint
+        .file("w", w.file_size)
+        .program(IoStrategy::DualParForced, move |files| w.build(files[0]))
+        .run()
+        .expect("valid experiment");
     assert_eq!(r.programs[0].phases, 0, "quota never fills");
     assert_eq!(r.programs[0].bytes_written, 4 << 20);
     // Every buffered byte must have hit a disk (write-through has no other
@@ -50,16 +43,17 @@ fn final_flush_writes_buffered_data() {
 #[test]
 fn s2_survives_total_misprediction() {
     let run = |strategy: IoStrategy| {
-        let mut c = Cluster::new(small());
         let w = DependentReader {
             nprocs: 4,
             total_bytes: 8 << 20,
             request_size: 64 * 1024,
             ..Default::default()
         };
-        let f = c.create_file("dep", w.file_size());
-        c.add_program(ProgramSpec::new(w.build(f), strategy));
-        c.run()
+        small()
+            .file("dep", w.file_size())
+            .program(strategy, move |files| w.build(files[0]))
+            .run()
+            .expect("valid experiment")
     };
     let v = run(IoStrategy::Vanilla);
     let s2 = run(IoStrategy::PrefetchOverlap);
@@ -77,23 +71,19 @@ fn s2_survives_total_misprediction() {
 /// correct.
 #[test]
 fn dualpar_correct_under_cache_pressure() {
-    let mut cfg = small();
-    cfg.dualpar.cache_quota = 1 << 20;
-    // Room for only two chunks per node: almost everything prefetched is
-    // evicted before use.
-    let mut c = Cluster::new(cfg);
     let w = MpiIoTest {
         nprocs: 4,
         file_size: 4 << 20,
         ..Default::default()
     };
-    let f = c.create_file("p", w.file_size);
-    c.add_program(ProgramSpec::new(w.build(f), IoStrategy::DualParForced));
-    // Shrink node capacity through the cache config used by the cluster:
-    // rebuild with a custom config is not exposed, so emulate pressure by
-    // a tiny quota instead — every phase prefetches little and the
-    // eviction path still runs at phase boundaries.
-    let r = c.run();
+    // Room for only two chunks per node: almost everything prefetched is
+    // evicted before use; the eviction path still runs at phase boundaries.
+    let r = small()
+        .tune(|cfg| cfg.dualpar.cache_quota = 1 << 20)
+        .file("p", w.file_size)
+        .program(IoStrategy::DualParForced, move |files| w.build(files[0]))
+        .run()
+        .expect("valid experiment");
     assert_eq!(r.programs[0].bytes_read, 4 << 20);
 }
 
@@ -102,13 +92,6 @@ fn dualpar_correct_under_cache_pressure() {
 #[test]
 fn fragmented_allocation_still_works() {
     let run = |strategy: IoStrategy| {
-        let mut cfg = small();
-        cfg.alloc = AllocConfig {
-            inter_file_gap: 1 << 20,
-            fragment_bytes: 256 * 1024,
-            fragment_gap: 2 << 20,
-        };
-        let mut c = Cluster::new(cfg);
         let w = Noncontig {
             nprocs: 4,
             elmt_count: 128,
@@ -116,9 +99,18 @@ fn fragmented_allocation_still_works() {
             rows: 2048,
             ..Default::default()
         };
-        let f = c.create_file("frag", w.file_size());
-        c.add_program(ProgramSpec::new(w.build(f), strategy));
-        c.run()
+        small()
+            .tune(|cfg| {
+                cfg.alloc = AllocConfig {
+                    inter_file_gap: 1 << 20,
+                    fragment_bytes: 256 * 1024,
+                    fragment_gap: 2 << 20,
+                }
+            })
+            .file("frag", w.file_size())
+            .program(strategy, move |files| w.build(files[0]))
+            .run()
+            .expect("valid experiment")
     };
     let v = run(IoStrategy::Vanilla);
     let d = run(IoStrategy::DualParForced);
@@ -132,27 +124,25 @@ fn fragmented_allocation_still_works() {
 /// Degenerate cluster: one server, one compute node.
 #[test]
 fn single_server_single_node() {
-    let cfg = ClusterConfig {
-        num_data_servers: 1,
-        num_compute_nodes: 1,
-        ..ClusterConfig::default()
-    };
     for strategy in [
         IoStrategy::Vanilla,
         IoStrategy::Collective,
         IoStrategy::PrefetchOverlap,
         IoStrategy::DualParForced,
     ] {
-        let mut c = Cluster::new(cfg.clone());
         let w = MpiIoTest {
             nprocs: 2,
             file_size: 1 << 20,
             collective: strategy == IoStrategy::Collective,
             ..Default::default()
         };
-        let f = c.create_file("x", w.file_size);
-        c.add_program(ProgramSpec::new(w.build(f), strategy));
-        let r = c.run();
+        let r = Experiment::darwin()
+            .servers(1)
+            .compute_nodes(1)
+            .file("x", w.file_size)
+            .program(strategy, move |files| w.build(files[0]))
+            .run()
+            .expect("valid experiment");
         assert_eq!(
             r.programs[0].bytes_read,
             1 << 20,
@@ -165,26 +155,25 @@ fn single_server_single_node() {
 /// A collective call where some ranks contribute nothing.
 #[test]
 fn collective_with_empty_ranks() {
-    let mut c = Cluster::new(small());
-    let f = c.create_file("x", 1 << 20);
-    let mk_call = |regions: Vec<FileRegion>| {
-        let mut call = IoCall::read(f, regions);
-        call.collective = true;
-        Op::Io(call)
-    };
-    let script = ProgramScript {
-        name: "lopsided".into(),
-        ranks: vec![
-            ProcessScript::new(vec![mk_call(vec![FileRegion::new(0, 65536)])]),
-            ProcessScript::new(vec![mk_call(vec![])]), // nothing to read
-            ProcessScript::new(vec![mk_call(vec![FileRegion::new(131072, 65536)])]),
-        ],
-    };
-    let mut cl = Cluster::new(small());
-    let f2 = cl.create_file("x", 1 << 20);
-    assert_eq!(f, f2);
-    cl.add_program(ProgramSpec::new(script, IoStrategy::Collective));
-    let r = cl.run();
+    let r = small()
+        .file("x", 1 << 20)
+        .program(IoStrategy::Collective, |files| {
+            let mk_call = |regions: Vec<FileRegion>| {
+                let mut call = IoCall::read(files[0], regions);
+                call.collective = true;
+                Op::Io(call)
+            };
+            ProgramScript {
+                name: "lopsided".into(),
+                ranks: vec![
+                    ProcessScript::new(vec![mk_call(vec![FileRegion::new(0, 65536)])]),
+                    ProcessScript::new(vec![mk_call(vec![])]), // nothing to read
+                    ProcessScript::new(vec![mk_call(vec![FileRegion::new(131072, 65536)])]),
+                ],
+            }
+        })
+        .run()
+        .expect("valid experiment");
     assert_eq!(r.programs[0].bytes_read, 2 * 65536);
 }
 
@@ -192,22 +181,24 @@ fn collective_with_empty_ranks() {
 /// not deadlock.
 #[test]
 fn collective_all_empty_does_not_deadlock() {
-    let mut c = Cluster::new(small());
-    let f = c.create_file("x", 1 << 20);
-    let mk = |regions: Vec<FileRegion>| {
-        let mut call = IoCall::read(f, regions);
-        call.collective = true;
-        Op::Io(call)
-    };
-    let script = ProgramScript {
-        name: "empty".into(),
-        ranks: vec![
-            ProcessScript::new(vec![mk(vec![]), mk(vec![FileRegion::new(0, 4096)])]),
-            ProcessScript::new(vec![mk(vec![]), mk(vec![FileRegion::new(4096, 4096)])]),
-        ],
-    };
-    c.add_program(ProgramSpec::new(script, IoStrategy::Collective));
-    let r = c.run();
+    let r = small()
+        .file("x", 1 << 20)
+        .program(IoStrategy::Collective, |files| {
+            let mk = |regions: Vec<FileRegion>| {
+                let mut call = IoCall::read(files[0], regions);
+                call.collective = true;
+                Op::Io(call)
+            };
+            ProgramScript {
+                name: "empty".into(),
+                ranks: vec![
+                    ProcessScript::new(vec![mk(vec![]), mk(vec![FileRegion::new(0, 4096)])]),
+                    ProcessScript::new(vec![mk(vec![]), mk(vec![FileRegion::new(4096, 4096)])]),
+                ],
+            }
+        })
+        .run()
+        .expect("valid experiment");
     assert_eq!(r.programs[0].bytes_read, 8192);
 }
 
@@ -216,24 +207,31 @@ fn collective_all_empty_does_not_deadlock() {
 #[test]
 fn zoned_disks_slow_inner_files() {
     let run = |with_pad: bool| {
-        let mut cfg = small();
-        cfg.disk.inner_rate_fraction = 0.4;
-        cfg.alloc.inter_file_gap = 0;
-        let mut c = Cluster::new(cfg);
-        if with_pad {
-            // Push the test file toward the inner tracks.
-            let pad = cfg_pad_bytes(&c);
-            c.create_file("pad", pad);
-        }
         let w = MpiIoTest {
             nprocs: 4,
             file_size: 8 << 20,
             barrier_every: 0,
             ..Default::default()
         };
-        let f = c.create_file("data", w.file_size);
-        c.add_program(ProgramSpec::new(w.build(f), IoStrategy::Vanilla));
-        c.run().programs[0].elapsed()
+        let mut exp = small().tune(|cfg| {
+            cfg.disk.inner_rate_fraction = 0.4;
+            cfg.alloc.inter_file_gap = 0;
+        });
+        if with_pad {
+            // Fill ~80% of every disk so the test file lands near the
+            // inner edge.
+            let cfg = ClusterConfig::default();
+            let pad = cfg.disk.capacity_sectors * 512 * 3 * 8 / 10;
+            exp = exp.file("pad", pad);
+        }
+        exp.file("data", w.file_size)
+            .program(IoStrategy::Vanilla, move |files| {
+                w.build(*files.last().unwrap())
+            })
+            .run()
+            .expect("valid experiment")
+            .programs[0]
+            .elapsed()
     };
     let outer = run(false);
     let inner = run(true);
@@ -243,12 +241,6 @@ fn zoned_disks_slow_inner_files() {
     );
 }
 
-fn cfg_pad_bytes(c: &Cluster) -> u64 {
-    // Fill ~80% of every disk so the next file lands near the inner edge.
-    let sectors = c.config().disk.capacity_sectors;
-    sectors * 512 * c.config().num_data_servers as u64 * 8 / 10
-}
-
 /// Server-side write-back (the paper's literal "force dirty pages being
 /// written back every one second"): writes are acknowledged at arrival,
 /// so a bursty writer finishes earlier than under write-through, while
@@ -256,18 +248,19 @@ fn cfg_pad_bytes(c: &Cluster) -> u64 {
 #[test]
 fn server_writeback_acks_early_and_flushes() {
     let run = |mode: ServerWriteMode| {
-        let mut cfg = small();
-        cfg.server_write_mode = mode;
-        cfg.server_flush_interval = dualpar_sim::SimDuration::from_millis(100);
-        let mut c = Cluster::new(cfg);
         let w = MpiIoTest {
             nprocs: 4,
             file_size: 8 << 20,
             kind: IoKind::Write,
             ..Default::default()
         };
-        let f = c.create_file("wb", w.file_size);
-        c.add_program(ProgramSpec::new(w.build(f), IoStrategy::Vanilla));
+        let mut c = small()
+            .server_write_mode(mode)
+            .tune(|cfg| cfg.server_flush_interval = SimDuration::from_millis(100))
+            .file("wb", w.file_size)
+            .program(IoStrategy::Vanilla, move |files| w.build(files[0]))
+            .build()
+            .expect("valid experiment");
         let r = c.run();
         // Drain any outstanding flush events so disks settle.
         let disk_bytes: u64 = (0..3).map(|s| c.disk(s).bytes_serviced()).sum();
@@ -285,20 +278,23 @@ fn server_writeback_acks_early_and_flushes() {
 /// EMC diagnostics: the improvement signal is recorded for adaptive runs.
 #[test]
 fn emc_improvement_signal_recorded() {
-    let mut c = Cluster::new(small());
-    for i in 0..2 {
+    let mut exp = small();
+    for i in 0..2usize {
         let w = MpiIoTest {
             nprocs: 8,
             file_size: 24 << 20,
             barrier_every: 8,
             ..Default::default()
         };
-        let f = c.create_file(&format!("f{i}"), w.file_size);
-        let mut s = w.build(f);
-        s.name = format!("i{i}");
-        c.add_program(ProgramSpec::new(s, IoStrategy::DualPar));
+        exp = exp
+            .file(format!("f{i}"), w.file_size)
+            .program(IoStrategy::DualPar, move |files| {
+                let mut s = w.build(files[i]);
+                s.name = format!("i{i}");
+                s
+            });
     }
-    let r = c.run();
+    let r = exp.run().expect("valid experiment");
     assert!(
         !r.emc_improvement.is_empty(),
         "adaptive runs must record the EMC improvement signal"
@@ -310,35 +306,38 @@ fn emc_improvement_signal_recorded() {
 /// handles both directions and the bytes balance.
 #[test]
 fn collective_mixed_read_write() {
-    let mut c = Cluster::new(small());
-    let f = c.create_file("x", 2 << 20);
-    let mk = |kind: IoKind, regions: Vec<FileRegion>| {
-        let mut call = IoCall {
-            kind,
-            file: f,
-            regions,
-            collective: true,
-            predicted: None,
-        };
-        call.regions.retain(|r| r.len > 0);
-        Op::Io(call)
-    };
-    let nprocs = 4usize;
-    let slab = (2 << 20) / nprocs as u64;
-    let script = ProgramScript {
-        name: "rw".into(),
-        ranks: (0..nprocs as u64)
-            .map(|r| {
-                ProcessScript::new(vec![
-                    mk(IoKind::Write, vec![FileRegion::new(r * slab, slab)]),
-                    Op::Barrier(0),
-                    mk(IoKind::Read, vec![FileRegion::new(r * slab, slab)]),
-                ])
-            })
-            .collect(),
-    };
-    c.add_program(ProgramSpec::new(script, IoStrategy::Collective));
-    let r = c.run();
+    let r = small()
+        .file("x", 2 << 20)
+        .program(IoStrategy::Collective, |files| {
+            let f = files[0];
+            let mk = |kind: IoKind, regions: Vec<FileRegion>| {
+                let mut call = IoCall {
+                    kind,
+                    file: f,
+                    regions,
+                    collective: true,
+                    predicted: None,
+                };
+                call.regions.retain(|r| r.len > 0);
+                Op::Io(call)
+            };
+            let nprocs = 4usize;
+            let slab = (2 << 20) / nprocs as u64;
+            ProgramScript {
+                name: "rw".into(),
+                ranks: (0..nprocs as u64)
+                    .map(|r| {
+                        ProcessScript::new(vec![
+                            mk(IoKind::Write, vec![FileRegion::new(r * slab, slab)]),
+                            Op::Barrier(0),
+                            mk(IoKind::Read, vec![FileRegion::new(r * slab, slab)]),
+                        ])
+                    })
+                    .collect(),
+            }
+        })
+        .run()
+        .expect("valid experiment");
     assert_eq!(r.programs[0].bytes_written, 2 << 20);
     assert_eq!(r.programs[0].bytes_read, 2 << 20);
 }
@@ -348,9 +347,6 @@ fn collective_mixed_read_write() {
 #[test]
 fn sieving_preserves_correctness() {
     let run = |enabled: bool| {
-        let mut cfg = small();
-        cfg.sieve.enabled = enabled;
-        let mut c = Cluster::new(cfg);
         let w = Noncontig {
             nprocs: 4,
             elmt_count: 256, // 1 KB cells every 4 KB
@@ -358,9 +354,12 @@ fn sieving_preserves_correctness() {
             rows: 512,
             ..Default::default()
         };
-        let f = c.create_file("sv", w.file_size());
-        c.add_program(ProgramSpec::new(w.build(f), IoStrategy::Vanilla));
-        c.run()
+        small()
+            .tune(|cfg| cfg.sieve.enabled = enabled)
+            .file("sv", w.file_size())
+            .program(IoStrategy::Vanilla, move |files| w.build(files[0]))
+            .run()
+            .expect("valid experiment")
     };
     let off = run(false);
     let on = run(true);
@@ -373,21 +372,21 @@ fn sieving_preserves_correctness() {
 /// adaptive strategy without ever bothering EMC.
 #[test]
 fn compute_only_program() {
-    let mut c = Cluster::new(small());
-    let script = ProgramScript {
-        name: "compute".into(),
-        ranks: (0..4)
-            .map(|_| {
-                ProcessScript::new(vec![
-                    Op::Compute(SimDuration::from_millis(5)),
-                    Op::Barrier(0),
-                    Op::Compute(SimDuration::from_millis(5)),
-                ])
-            })
-            .collect(),
-    };
-    c.add_program(ProgramSpec::new(script, IoStrategy::DualPar));
-    let r = c.run();
+    let r = small()
+        .program(IoStrategy::DualPar, |_| ProgramScript {
+            name: "compute".into(),
+            ranks: (0..4)
+                .map(|_| {
+                    ProcessScript::new(vec![
+                        Op::Compute(SimDuration::from_millis(5)),
+                        Op::Barrier(0),
+                        Op::Compute(SimDuration::from_millis(5)),
+                    ])
+                })
+                .collect(),
+        })
+        .run()
+        .expect("valid experiment");
     assert_eq!(r.programs[0].bytes_read + r.programs[0].bytes_written, 0);
     assert!(r.programs[0].elapsed() >= SimDuration::from_millis(10));
     assert!(r.mode_events.is_empty());

@@ -2,10 +2,7 @@
 //! completion under every strategy, move exactly the bytes their scripts
 //! describe, and behave bit-identically across repeated runs.
 
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
-use dualpar_mpiio::{IoCall, IoKind, Op, ProcessScript, ProgramScript};
-use dualpar_pfs::FileRegion;
-use dualpar_sim::SimDuration;
+use dualpar_cluster::prelude::*;
 use proptest::prelude::*;
 
 const FILE_SIZE: u64 = 8 << 20;
@@ -98,16 +95,19 @@ fn build_script(_nprocs: usize, bodies: &[Vec<GenOp>], rank_region: u64) -> Prog
     }
 }
 
-fn run(script: &ProgramScript, strategy: IoStrategy) -> dualpar_cluster::RunReport {
-    let mut c = Cluster::new(ClusterConfig {
-        num_data_servers: 3,
-        num_compute_nodes: 2,
-        ..ClusterConfig::default()
-    });
-    let file = c.create_file("f", FILE_SIZE);
-    assert_eq!(file, dualpar_pfs::FileId(1));
-    c.add_program(ProgramSpec::new(script.clone(), strategy));
-    c.run()
+fn run(script: &ProgramScript, strategy: IoStrategy) -> RunReport {
+    let script = script.clone();
+    Experiment::darwin()
+        .servers(3)
+        .compute_nodes(2)
+        .file("f", FILE_SIZE)
+        .program(strategy, move |files| {
+            // Scripts are generated against FileId(1), the first created file.
+            assert_eq!(files[0], FileId(1));
+            script
+        })
+        .run()
+        .expect("valid experiment")
 }
 
 proptest! {

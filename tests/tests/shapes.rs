@@ -2,33 +2,28 @@
 //! the simulator (who wins, in which regime), independent of absolute
 //! numbers.
 
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec, RunReport};
+use dualpar_cluster::prelude::*;
 use dualpar_core::ExecMode;
-use dualpar_disk::IoKind;
-use dualpar_sim::SimDuration;
 use dualpar_workloads::{compute_for_io_ratio, Demo, DependentReader, MpiIoTest, Noncontig};
 
-fn cluster() -> Cluster {
-    Cluster::new(ClusterConfig {
-        num_data_servers: 3,
-        num_compute_nodes: 2,
-        ..ClusterConfig::default()
-    })
+fn small() -> Experiment {
+    Experiment::darwin().servers(3).compute_nodes(2)
 }
 
 fn run_noncontig(strategy: IoStrategy) -> RunReport {
-    let mut c = cluster();
     let w = Noncontig {
         nprocs: 8,
-        elmt_count: 128,      // 512 B cells
+        elmt_count: 128, // 512 B cells
         bytes_per_call: 1 << 20,
-        rows: 8192,           // 32 MB total
+        rows: 8192, // 32 MB total
         collective: strategy == IoStrategy::Collective,
         ..Default::default()
     };
-    let f = c.create_file("nc", w.file_size());
-    c.add_program(ProgramSpec::new(w.build(f), strategy));
-    c.run()
+    small()
+        .file("nc", w.file_size())
+        .program(strategy, move |files| w.build(files[0]))
+        .run()
+        .expect("valid experiment")
 }
 
 /// Fig. 3 shape (noncontig): DualPar > collective > vanilla on
@@ -53,7 +48,6 @@ fn run_demo(strategy: IoStrategy, io_ratio: f64, seg: u64) -> RunReport {
     // time at this segment size (the paper's I/O ratio is defined against
     // the vanilla system).
     let pilot = {
-        let mut c = cluster();
         let w = Demo {
             nprocs: 8,
             file_size: 16 << 20,
@@ -61,12 +55,14 @@ fn run_demo(strategy: IoStrategy, io_ratio: f64, seg: u64) -> RunReport {
             ..Default::default()
         };
         let calls = (w.file_size / (w.segs_per_call * 8 * seg)).max(1);
-        let f = c.create_file("demo", w.file_size);
-        c.add_program(ProgramSpec::new(w.build(f), IoStrategy::Vanilla));
-        let r = c.run();
+        let file_size = w.file_size;
+        let r = small()
+            .file("demo", file_size)
+            .program(IoStrategy::Vanilla, move |files| w.build(files[0]))
+            .run()
+            .expect("valid experiment");
         SimDuration::from_secs_f64(r.programs[0].elapsed().as_secs_f64() / calls as f64)
     };
-    let mut c = cluster();
     let w = Demo {
         nprocs: 8,
         file_size: 64 << 20,
@@ -74,9 +70,11 @@ fn run_demo(strategy: IoStrategy, io_ratio: f64, seg: u64) -> RunReport {
         compute_per_call: compute_for_io_ratio(pilot, io_ratio),
         ..Default::default()
     };
-    let f = c.create_file("demo", w.file_size);
-    c.add_program(ProgramSpec::new(w.build(f), strategy));
-    c.run()
+    small()
+        .file("demo", w.file_size)
+        .program(strategy, move |files| w.build(files[0]))
+        .run()
+        .expect("valid experiment")
 }
 
 /// Fig. 1(a) shape: at ~100% I/O ratio, Strategy 3 (data-driven) beats
@@ -124,13 +122,8 @@ fn demo_segment_size_sensitivity() {
 #[test]
 fn interference_removed_by_dualpar() {
     let run_pair = |strategy: IoStrategy| {
-        let mut c = Cluster::new(ClusterConfig {
-            num_data_servers: 3,
-            num_compute_nodes: 2,
-            trace_disks: true,
-            ..ClusterConfig::default()
-        });
-        for i in 0..2 {
+        let mut exp = small().trace_disks(true);
+        for i in 0..2usize {
             let w = MpiIoTest {
                 nprocs: 8,
                 file_size: 32 << 20,
@@ -138,11 +131,15 @@ fn interference_removed_by_dualpar() {
                 barrier_every: 1,
                 ..Default::default()
             };
-            let f = c.create_file(&format!("file{i}"), w.file_size);
-            let mut script = w.build(f);
-            script.name = format!("inst{i}");
-            c.add_program(ProgramSpec::new(script, strategy));
+            exp = exp
+                .file(format!("file{i}"), w.file_size)
+                .program(strategy, move |files| {
+                    let mut script = w.build(files[i]);
+                    script.name = format!("inst{i}");
+                    script
+                });
         }
+        let mut c = exp.build().expect("valid experiment");
         let report = c.run();
         // Seek overhead per byte serviced: total seek distance over all
         // services divided by bytes moved — the trace-level measure of
@@ -171,12 +168,8 @@ fn interference_removed_by_dualpar() {
 /// data-driven mode when interference degrades efficiency.
 #[test]
 fn adaptive_mode_switches_on_under_interference() {
-    let mut c = Cluster::new(ClusterConfig {
-        num_data_servers: 3,
-        num_compute_nodes: 2,
-        ..ClusterConfig::default()
-    });
-    for i in 0..2 {
+    let mut exp = small();
+    for i in 0..2usize {
         let w = MpiIoTest {
             nprocs: 8,
             file_size: 48 << 20,
@@ -186,12 +179,15 @@ fn adaptive_mode_switches_on_under_interference() {
             barrier_every: 8,
             ..Default::default()
         };
-        let f = c.create_file(&format!("f{i}"), w.file_size);
-        let mut script = w.build(f);
-        script.name = format!("inst{i}");
-        c.add_program(ProgramSpec::new(script, IoStrategy::DualPar));
+        exp = exp
+            .file(format!("f{i}"), w.file_size)
+            .program(IoStrategy::DualPar, move |files| {
+                let mut script = w.build(files[i]);
+                script.name = format!("inst{i}");
+                script
+            });
     }
-    let r = c.run();
+    let r = exp.run().expect("valid experiment");
     assert!(
         r.mode_events
             .iter()
@@ -208,16 +204,17 @@ fn adaptive_mode_switches_on_under_interference() {
 #[test]
 fn misprefetch_disables_mode_with_bounded_overhead() {
     let run = |strategy: IoStrategy| {
-        let mut c = cluster();
         let w = DependentReader {
             nprocs: 8,
             total_bytes: 16 << 20,
             request_size: 64 * 1024,
             ..Default::default()
         };
-        let f = c.create_file("dep", w.file_size());
-        c.add_program(ProgramSpec::new(w.build(f), strategy));
-        c.run()
+        small()
+            .file("dep", w.file_size())
+            .program(strategy, move |files| w.build(files[0]))
+            .run()
+            .expect("valid experiment")
     };
     let v = run(IoStrategy::Vanilla).programs[0].elapsed();
     let dp_report = run(IoStrategy::DualPar);
@@ -241,7 +238,6 @@ fn misprefetch_disables_mode_with_bounded_overhead() {
 #[test]
 fn dualpar_write_batching_wins() {
     let run = |strategy: IoStrategy| {
-        let mut c = cluster();
         let w = Noncontig {
             nprocs: 8,
             elmt_count: 128,
@@ -251,9 +247,11 @@ fn dualpar_write_batching_wins() {
             collective: strategy == IoStrategy::Collective,
             ..Default::default()
         };
-        let f = c.create_file("ncw", w.file_size());
-        c.add_program(ProgramSpec::new(w.build(f), strategy));
-        c.run()
+        small()
+            .file("ncw", w.file_size())
+            .program(strategy, move |files| w.build(files[0]))
+            .run()
+            .expect("valid experiment")
     };
     let v = run(IoStrategy::Vanilla).programs[0].throughput_mbps();
     let dp = run(IoStrategy::DualParForced).programs[0].throughput_mbps();

@@ -1,21 +1,10 @@
 //! Engine smoke tests: tiny workloads under every strategy must run to
 //! completion with sane accounting.
 
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
-use dualpar_disk::IoKind;
-use dualpar_sim::SimDuration;
+use dualpar_cluster::prelude::*;
 use dualpar_workloads::MpiIoTest;
 
-fn small_cluster() -> ClusterConfig {
-    ClusterConfig {
-        num_data_servers: 3,
-        num_compute_nodes: 2,
-        ..ClusterConfig::default()
-    }
-}
-
-fn run_one(strategy: IoStrategy, kind: IoKind) -> dualpar_cluster::RunReport {
-    let mut cluster = Cluster::new(small_cluster());
+fn run_one(strategy: IoStrategy, kind: IoKind) -> RunReport {
     let w = MpiIoTest {
         nprocs: 4,
         file_size: 8 << 20,
@@ -25,10 +14,13 @@ fn run_one(strategy: IoStrategy, kind: IoKind) -> dualpar_cluster::RunReport {
         barrier_every: 4,
         compute_per_call: SimDuration::from_micros(100),
     };
-    let file = cluster.create_file("data", w.file_size);
-    let script = w.build(file);
-    cluster.add_program(ProgramSpec::new(script, strategy));
-    cluster.run()
+    Experiment::darwin()
+        .servers(3)
+        .compute_nodes(2)
+        .file("data", w.file_size)
+        .program(strategy, move |files| w.build(files[0]))
+        .run()
+        .expect("valid experiment")
 }
 
 #[test]

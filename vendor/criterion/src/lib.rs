@@ -1,0 +1,154 @@
+//! Offline stub of `criterion`.
+//!
+//! Provides the subset of the criterion API the workspace's benches use,
+//! backed by straightforward `std::time::Instant` timing: warm up, run a
+//! fixed number of timed samples, and print the best sample as ns/iter
+//! (plus derived throughput when configured). No statistics, plotting, or
+//! baseline storage — just honest wall-clock numbers, so `cargo bench`
+//! works offline.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted, but the stub always runs
+/// setup per batch).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small input: many iterations per setup.
+    SmallInput,
+    /// Large input: one iteration per setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the units-per-iteration used to report a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2) as u32;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { best: Duration::MAX, samples: self.samples };
+        f(&mut b);
+        let ns = b.best.as_nanos();
+        match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0 => {
+                let rate = n as f64 / b.best.as_secs_f64();
+                println!("{}/{id}: {ns} ns/iter ({rate:.0} elem/s)", self.name);
+            }
+            Some(Throughput::Bytes(n)) if ns > 0 => {
+                let rate = n as f64 / b.best.as_secs_f64() / (1 << 20) as f64;
+                println!("{}/{id}: {ns} ns/iter ({rate:.1} MiB/s)", self.name);
+            }
+            _ => println!("{}/{id}: {ns} ns/iter", self.name),
+        }
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    best: Duration,
+    samples: u32,
+}
+
+impl Bencher {
+    /// Time `f`, keeping the best sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..2 {
+            std::hint::black_box(f());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let dt = start.elapsed();
+            if dt < self.best {
+                self.best = dt;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            let dt = start.elapsed();
+            if dt < self.best {
+                self.best = dt;
+            }
+        }
+    }
+}
+
+/// Declare a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,393 @@
+//! Offline stub of `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace patches
+//! `serde` with this minimal value-model implementation (see
+//! `[patch.crates-io]` in the workspace `Cargo.toml`). It supports the
+//! subset the workspace uses:
+//!
+//! - `#[derive(Serialize, Deserialize)]` on plain structs, tuple structs,
+//!   and enums (unit / newtype / tuple / struct variants, externally
+//!   tagged), via the sibling `serde_derive` stub;
+//! - container-level `#[serde(default)]` and `#[serde(rename_all =
+//!   "snake_case")]`, field-level `#[serde(default)]`;
+//! - impls for primitives, `String`, `Option`, `Vec`, tuples, and
+//!   string-keyed maps.
+//!
+//! Instead of real serde's visitor architecture, everything funnels through
+//! a concrete [`Value`] tree, which `serde_json` (also stubbed) renders and
+//! parses. Workspace code must only rely on the intersection API (derive +
+//! trait bounds + `serde_json::{to_string, to_string_pretty, from_str}`),
+//! which behaves identically under real serde.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data value — the stub's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (only produced for negative numbers).
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered map (insertion order preserved; keys are strings).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the map entries if this is a `Map`.
+    pub fn as_map(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow the sequence if this is a `Seq`.
+    pub fn as_seq(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Look up `key` in derive-generated map output (linear scan; maps here are
+/// small config/report objects).
+pub fn find_field<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Convert `self` into the stub data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self`, with lenient numeric coercions (as JSON needs).
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+            self.3.to_value(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output; HashMap iteration order is random.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+fn want(v: &Value, what: &str) -> Error {
+    Error(format!("expected {what}, found {v:?}"))
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x: u64 = match *v {
+                    Value::U64(x) => x,
+                    Value::I64(x) if x >= 0 => x as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => f as u64,
+                    ref other => return Err(want(other, "unsigned integer")),
+                };
+                <$t>::try_from(x).map_err(|_| Error(format!("integer {x} out of range")))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x: i64 = match *v {
+                    Value::I64(x) => x,
+                    Value::U64(x) if x <= i64::MAX as u64 => x as i64,
+                    Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => f as i64,
+                    ref other => return Err(want(other, "integer")),
+                };
+                <$t>::try_from(x).map_err(|_| Error(format!("integer {x} out of range")))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::U64(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            ref other => Err(want(other, "number")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(want(other, "bool")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(want(other, "string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(want(other, "sequence")),
+        }
+    }
+}
+
+fn tuple_seq<'a>(v: &'a Value, n: usize) -> Result<&'a [Value], Error> {
+    match v {
+        Value::Seq(items) if items.len() == n => Ok(items),
+        other => Err(want(other, "tuple sequence")),
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = tuple_seq(v, 2)?;
+        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = tuple_seq(v, 3)?;
+        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?, C::from_value(&s[2])?))
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(want(other, "map")),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(want(other, "map")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(u64::from_value(&Value::U64(3)).unwrap(), 3);
+        assert_eq!(u64::from_value(&Value::F64(3.0)).unwrap(), 3);
+        assert!(u64::from_value(&Value::F64(3.5)).is_err());
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(i64::from_value(&Value::I64(-2)).unwrap(), -2);
+        assert!(u32::from_value(&Value::I64(-2)).is_err());
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(1)).unwrap(), Some(1));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+}

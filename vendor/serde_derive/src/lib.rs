@@ -1,0 +1,581 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Generates impls of the stub `serde::Serialize` / `serde::Deserialize`
+//! traits (a concrete `Value`-tree model, not real serde's visitors). The
+//! input item is parsed directly from the proc-macro token stream — no
+//! `syn`/`quote`, since the build container cannot fetch them.
+//!
+//! Supported shapes: structs with named fields, tuple structs, unit
+//! structs, and enums with unit / tuple / struct variants (externally
+//! tagged, matching real serde's JSON layout). Supported attributes:
+//! container `#[serde(default)]` and `#[serde(rename_all =
+//! "snake_case")]`, field `#[serde(default)]`. Generics are not supported;
+//! anything unsupported panics at compile time so it cannot silently
+//! diverge from real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    rename_all_snake: bool,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: ItemKind,
+}
+
+/// Derive the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub produced invalid Rust")
+}
+
+/// Derive the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub produced invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Consume leading attributes, folding any `#[serde(...)]` into `attrs`.
+fn parse_attrs(toks: &[TokenTree], i: &mut usize, attrs: &mut SerdeAttrs) {
+    while *i < toks.len() && is_punct(&toks[*i], '#') {
+        let TokenTree::Group(g) = &toks[*i + 1] else {
+            panic!("serde_derive stub: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if !inner.is_empty() && is_ident(&inner[0], "serde") {
+            let TokenTree::Group(args) = &inner[1] else {
+                panic!("serde_derive stub: malformed #[serde] attribute");
+            };
+            parse_serde_args(args.stream(), attrs);
+        }
+        *i += 2;
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                attrs.default = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "rename_all" => {
+                assert!(
+                    is_punct(&toks[i + 1], '='),
+                    "serde_derive stub: expected `rename_all = \"...\"`"
+                );
+                let lit = toks[i + 2].to_string();
+                assert_eq!(
+                    lit, "\"snake_case\"",
+                    "serde_derive stub: only rename_all = \"snake_case\" is supported"
+                );
+                attrs.rename_all_snake = true;
+                i += 3;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde_derive stub: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if *i < toks.len() && is_ident(&toks[*i], "pub") {
+        *i += 1;
+        if *i < toks.len() {
+            if let TokenTree::Group(g) = &toks[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = SerdeAttrs::default();
+    parse_attrs(&toks, &mut i, &mut attrs);
+    skip_vis(&toks, &mut i);
+
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!("serde_derive stub: expected `struct` or `enum`, got `{}`", toks[i]);
+    };
+    i += 1;
+
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got `{other}`"),
+    };
+    i += 1;
+
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("serde_derive stub: generic types are not supported ({name})");
+    }
+
+    let kind = if is_enum {
+        let TokenTree::Group(body) = &toks[i] else {
+            panic!("serde_derive stub: expected enum body for {name}");
+        };
+        ItemKind::Enum(parse_variants(body.stream()))
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => ItemKind::UnitStruct,
+            other => panic!("serde_derive stub: unsupported struct body for {name}: {other:?}"),
+        }
+    };
+
+    Item { name, attrs, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut fattrs = SerdeAttrs::default();
+        parse_attrs(&toks, &mut i, &mut fattrs);
+        skip_vis(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, got `{other}`"),
+        };
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "serde_derive stub: expected `:` after field {name}");
+        i += 1;
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default: fattrs.default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut vattrs = SerdeAttrs::default();
+        parse_attrs(&toks, &mut i, &mut vattrs);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, got `{other}`"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if i < toks.len() && is_punct(&toks[i], '=') {
+            panic!("serde_derive stub: explicit discriminants are not supported");
+        }
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// serde's `rename_all = "snake_case"` rule: underscore before every
+/// non-leading uppercase, then lowercase everything.
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            body.push_str(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "__m.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));",
+                    f.name
+                );
+            }
+            body.push_str("::serde::Value::Map(__m)\n");
+        }
+        ItemKind::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::to_value(&self.0)\n");
+        }
+        ItemKind::TupleStruct(n) => {
+            body.push_str("::serde::Value::Seq(::std::vec::Vec::from([");
+            for idx in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_value(&self.{idx}),");
+            }
+            body.push_str("]))\n");
+        }
+        ItemKind::UnitStruct => {
+            body.push_str("::serde::Value::Null\n");
+        }
+        ItemKind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let tag = if item.attrs.rename_all_snake {
+                    snake_case(&v.name)
+                } else {
+                    v.name.clone()
+                };
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{0} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{tag}\")),",
+                            v.name
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{0}(__f0) => ::serde::Value::Map(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{tag}\"), \
+                             ::serde::Serialize::to_value(__f0))])),",
+                            v.name
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{0}({binds}) => \
+                             ::serde::Value::Map(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{tag}\"), \
+                             ::serde::Value::Seq(::std::vec::Vec::from([{items}])))])),",
+                            v.name,
+                            binds = binders.join(", "),
+                            items = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        );
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let items = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = writeln!(
+                            body,
+                            "{name}::{0} {{ {binds} }} => \
+                             ::serde::Value::Map(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{tag}\"), \
+                             ::serde::Value::Map(::std::vec::Vec::from([{items}])))])),",
+                            v.name,
+                            binds = binds.join(", "),
+                        );
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let _ = writeln!(
+                body,
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"{name}: expected map\"))?;"
+            );
+            if item.attrs.default {
+                let _ = writeln!(body, "let __d: {name} = ::std::default::Default::default();");
+            }
+            let _ = writeln!(body, "::std::result::Result::Ok({name} {{");
+            for f in fields {
+                let missing = if item.attrs.default {
+                    format!("__d.{}", f.name)
+                } else if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"{name}: missing field `{0}`\"))",
+                        f.name
+                    )
+                };
+                let _ = writeln!(
+                    body,
+                    "{0}: match ::serde::find_field(__m, \"{0}\") {{\n\
+                     ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                     ::std::option::Option::None => {missing},\n}},",
+                    f.name
+                );
+            }
+            body.push_str("})\n");
+        }
+        ItemKind::TupleStruct(1) => {
+            let _ = writeln!(
+                body,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            );
+        }
+        ItemKind::TupleStruct(n) => {
+            let _ = writeln!(
+                body,
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"{name}: expected sequence\"))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"{name}: wrong tuple length\")); }}"
+            );
+            let items = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(body, "::std::result::Result::Ok({name}({items}))");
+        }
+        ItemKind::UnitStruct => {
+            let _ = writeln!(body, "::std::result::Result::Ok({name})");
+        }
+        ItemKind::Enum(variants) => {
+            let unit: Vec<&Variant> =
+                variants.iter().filter(|v| matches!(v.shape, VariantShape::Unit)).collect();
+            let payload: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.shape, VariantShape::Unit)).collect();
+            body.push_str("match __v {\n");
+            if !unit.is_empty() {
+                body.push_str("::serde::Value::Str(__s) => match __s.as_str() {\n");
+                for v in &unit {
+                    let tag = if item.attrs.rename_all_snake {
+                        snake_case(&v.name)
+                    } else {
+                        v.name.clone()
+                    };
+                    let _ = writeln!(
+                        body,
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{0}),",
+                        v.name
+                    );
+                }
+                let _ = writeln!(
+                    body,
+                    "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},"
+                );
+            }
+            if !payload.is_empty() {
+                body.push_str(
+                    "::serde::Value::Map(__m) if __m.len() == 1 => {\n\
+                     let (__k, __payload) = &__m[0];\n\
+                     match __k.as_str() {\n",
+                );
+                for v in &payload {
+                    let tag = if item.attrs.rename_all_snake {
+                        snake_case(&v.name)
+                    } else {
+                        v.name.clone()
+                    };
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!(),
+                        VariantShape::Tuple(1) => {
+                            let _ = writeln!(
+                                body,
+                                "\"{tag}\" => ::std::result::Result::Ok({name}::{0}(\
+                                 ::serde::Deserialize::from_value(__payload)?)),",
+                                v.name
+                            );
+                        }
+                        VariantShape::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let _ = writeln!(
+                                body,
+                                "\"{tag}\" => {{\n\
+                                 let __s = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"{name}::{0}: expected sequence\"))?;\n\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"{name}::{0}: wrong tuple length\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{0}({items}))\n}},",
+                                v.name
+                            );
+                        }
+                        VariantShape::Struct(fields) => {
+                            let mut inner = String::new();
+                            for f in fields {
+                                let _ = writeln!(
+                                    inner,
+                                    "{0}: match ::serde::find_field(__mm, \"{0}\") {{\n\
+                                     ::std::option::Option::Some(__x) => \
+                                     ::serde::Deserialize::from_value(__x)?,\n\
+                                     ::std::option::Option::None => \
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"{name}::{1}: missing field `{0}`\")),\n}},",
+                                    f.name, v.name
+                                );
+                            }
+                            let _ = writeln!(
+                                body,
+                                "\"{tag}\" => {{\n\
+                                 let __mm = __payload.as_map().ok_or_else(|| \
+                                 ::serde::Error::custom(\"{name}::{0}: expected map\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{0} {{\n{inner}}})\n}},",
+                                v.name
+                            );
+                        }
+                    }
+                }
+                let _ = writeln!(
+                    body,
+                    "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}\n}},"
+                );
+            }
+            let _ = writeln!(
+                body,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"{name}: cannot deserialize from {{__other:?}}\"))),\n}}"
+            );
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{\n{body}}}\n}}\n"
+    )
+}
