@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_crm-1be364650b5d2ea9.d: crates/bench/benches/ablation_crm.rs
+
+/root/repo/target/debug/deps/ablation_crm-1be364650b5d2ea9: crates/bench/benches/ablation_crm.rs
+
+crates/bench/benches/ablation_crm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_crm-ea504f85ad745e61.d: crates/bench/benches/ablation_crm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_crm-ea504f85ad745e61.rmeta: crates/bench/benches/ablation_crm.rs Cargo.toml
+
+crates/bench/benches/ablation_crm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ghost-0c6b765c5ed13fcb.d: crates/bench/benches/ablation_ghost.rs
+
+/root/repo/target/debug/deps/ablation_ghost-0c6b765c5ed13fcb: crates/bench/benches/ablation_ghost.rs
+
+crates/bench/benches/ablation_ghost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ghost-9d9ec266d167a71f.d: crates/bench/benches/ablation_ghost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ghost-9d9ec266d167a71f.rmeta: crates/bench/benches/ablation_ghost.rs Cargo.toml
+
+crates/bench/benches/ablation_ghost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sched-828f3a4fd0375950.d: crates/bench/benches/ablation_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sched-828f3a4fd0375950.rmeta: crates/bench/benches/ablation_sched.rs Cargo.toml
+
+crates/bench/benches/ablation_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

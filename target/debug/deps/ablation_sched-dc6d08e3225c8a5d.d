@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sched-dc6d08e3225c8a5d.d: crates/bench/benches/ablation_sched.rs
+
+/root/repo/target/debug/deps/ablation_sched-dc6d08e3225c8a5d: crates/bench/benches/ablation_sched.rs
+
+crates/bench/benches/ablation_sched.rs:

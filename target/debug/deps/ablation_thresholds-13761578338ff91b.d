@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_thresholds-13761578338ff91b.d: crates/bench/benches/ablation_thresholds.rs
+
+/root/repo/target/debug/deps/ablation_thresholds-13761578338ff91b: crates/bench/benches/ablation_thresholds.rs
+
+crates/bench/benches/ablation_thresholds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_thresholds-fcff23b916b012bd.d: crates/bench/benches/ablation_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_thresholds-fcff23b916b012bd.rmeta: crates/bench/benches/ablation_thresholds.rs Cargo.toml
+
+crates/bench/benches/ablation_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

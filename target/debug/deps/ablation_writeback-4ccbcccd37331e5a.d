@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_writeback-4ccbcccd37331e5a.d: crates/bench/benches/ablation_writeback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_writeback-4ccbcccd37331e5a.rmeta: crates/bench/benches/ablation_writeback.rs Cargo.toml
+
+crates/bench/benches/ablation_writeback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_writeback-fb430abb6f062d53.d: crates/bench/benches/ablation_writeback.rs
+
+/root/repo/target/debug/deps/ablation_writeback-fb430abb6f062d53: crates/bench/benches/ablation_writeback.rs
+
+crates/bench/benches/ablation_writeback.rs:

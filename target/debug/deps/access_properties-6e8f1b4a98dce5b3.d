@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/access_properties-6e8f1b4a98dce5b3.d: crates/mpiio/tests/access_properties.rs
+
+/root/repo/target/debug/deps/access_properties-6e8f1b4a98dce5b3: crates/mpiio/tests/access_properties.rs
+
+crates/mpiio/tests/access_properties.rs:

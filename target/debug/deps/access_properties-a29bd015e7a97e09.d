@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/access_properties-a29bd015e7a97e09.d: crates/mpiio/tests/access_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccess_properties-a29bd015e7a97e09.rmeta: crates/mpiio/tests/access_properties.rs Cargo.toml
+
+crates/mpiio/tests/access_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

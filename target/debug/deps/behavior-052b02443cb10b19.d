@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/behavior-052b02443cb10b19.d: tests/tests/behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbehavior-052b02443cb10b19.rmeta: tests/tests/behavior.rs Cargo.toml
+
+tests/tests/behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-3389072a0333625f.d: tests/tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-3389072a0333625f: tests/tests/behavior.rs
+
+tests/tests/behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-4ea7dc074fdc31ab.d: tests/tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-4ea7dc074fdc31ab: tests/tests/behavior.rs
+
+tests/tests/behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-6fd62c1f0c8ca675.d: tests/tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-6fd62c1f0c8ca675: tests/tests/behavior.rs
+
+tests/tests/behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_properties-3c9c791b8b976df1.d: crates/cache/tests/cache_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_properties-3c9c791b8b976df1.rmeta: crates/cache/tests/cache_properties.rs Cargo.toml
+
+crates/cache/tests/cache_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_properties-4d1c8d68cea13eb9.d: crates/cache/tests/cache_properties.rs
+
+/root/repo/target/debug/deps/cache_properties-4d1c8d68cea13eb9: crates/cache/tests/cache_properties.rs
+
+crates/cache/tests/cache_properties.rs:

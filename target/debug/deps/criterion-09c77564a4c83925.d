@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-09c77564a4c83925.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-09c77564a4c83925.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

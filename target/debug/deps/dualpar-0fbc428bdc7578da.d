@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dualpar-0fbc428bdc7578da.d: crates/bench/src/bin/dualpar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar-0fbc428bdc7578da.rmeta: crates/bench/src/bin/dualpar.rs Cargo.toml
+
+crates/bench/src/bin/dualpar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dualpar-ceb1b55e0045955e.d: crates/bench/src/bin/dualpar.rs
+
+/root/repo/target/debug/deps/dualpar-ceb1b55e0045955e: crates/bench/src/bin/dualpar.rs
+
+crates/bench/src/bin/dualpar.rs:

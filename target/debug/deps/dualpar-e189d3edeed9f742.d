@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dualpar-e189d3edeed9f742.d: crates/bench/src/bin/dualpar.rs
+
+/root/repo/target/debug/deps/dualpar-e189d3edeed9f742: crates/bench/src/bin/dualpar.rs
+
+crates/bench/src/bin/dualpar.rs:

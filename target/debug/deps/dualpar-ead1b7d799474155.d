@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dualpar-ead1b7d799474155.d: crates/bench/src/bin/dualpar.rs
+
+/root/repo/target/debug/deps/dualpar-ead1b7d799474155: crates/bench/src/bin/dualpar.rs
+
+crates/bench/src/bin/dualpar.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dualpar-fab2656c022b3126.d: crates/bench/src/bin/dualpar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar-fab2656c022b3126.rmeta: crates/bench/src/bin/dualpar.rs Cargo.toml
+
+crates/bench/src/bin/dualpar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dualpar_bench-102af15278a4de96.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/dualpar_bench-102af15278a4de96: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

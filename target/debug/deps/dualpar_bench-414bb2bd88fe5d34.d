@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dualpar_bench-414bb2bd88fe5d34.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libdualpar_bench-414bb2bd88fe5d34.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libdualpar_bench-414bb2bd88fe5d34.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

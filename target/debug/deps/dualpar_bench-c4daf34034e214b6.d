@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dualpar_bench-c4daf34034e214b6.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/dualpar_bench-c4daf34034e214b6: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

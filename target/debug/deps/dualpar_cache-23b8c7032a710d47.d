@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dualpar_cache-23b8c7032a710d47.d: crates/cache/src/lib.rs crates/cache/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar_cache-23b8c7032a710d47.rmeta: crates/cache/src/lib.rs crates/cache/src/store.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dualpar_cache-6027fa740ea87f9d.d: crates/cache/src/lib.rs crates/cache/src/store.rs
+
+/root/repo/target/debug/deps/libdualpar_cache-6027fa740ea87f9d.rlib: crates/cache/src/lib.rs crates/cache/src/store.rs
+
+/root/repo/target/debug/deps/libdualpar_cache-6027fa740ea87f9d.rmeta: crates/cache/src/lib.rs crates/cache/src/store.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/store.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dualpar_cache-69f1b48509efd6c2.d: crates/cache/src/lib.rs crates/cache/src/store.rs
+
+/root/repo/target/debug/deps/dualpar_cache-69f1b48509efd6c2: crates/cache/src/lib.rs crates/cache/src/store.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/store.rs:

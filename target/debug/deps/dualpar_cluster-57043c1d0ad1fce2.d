@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dualpar_cluster-57043c1d0ad1fce2.d: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/debug/deps/libdualpar_cluster-57043c1d0ad1fce2.rlib: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/debug/deps/libdualpar_cluster-57043c1d0ad1fce2.rmeta: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/datadriven.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/exec.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/metrics.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dualpar_cluster-6e6b3f50074f3ba3.d: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/builder.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar_cluster-6e6b3f50074f3ba3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/builder.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/datadriven.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/exec.rs:
+crates/cluster/src/builder.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

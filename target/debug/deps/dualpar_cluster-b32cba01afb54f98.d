@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dualpar_cluster-b32cba01afb54f98.d: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/debug/deps/dualpar_cluster-b32cba01afb54f98: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/datadriven.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/exec.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/metrics.rs:

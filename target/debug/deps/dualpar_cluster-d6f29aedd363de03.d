@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dualpar_cluster-d6f29aedd363de03.d: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/builder.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/debug/deps/libdualpar_cluster-d6f29aedd363de03.rlib: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/builder.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/debug/deps/libdualpar_cluster-d6f29aedd363de03.rmeta: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/builder.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/datadriven.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/exec.rs:
+crates/cluster/src/builder.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/metrics.rs:

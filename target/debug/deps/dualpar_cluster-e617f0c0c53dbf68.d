@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dualpar_cluster-e617f0c0c53dbf68.d: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/builder.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/debug/deps/dualpar_cluster-e617f0c0c53dbf68: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/builder.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/datadriven.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/exec.rs:
+crates/cluster/src/builder.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/metrics.rs:

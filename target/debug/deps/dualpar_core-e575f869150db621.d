@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dualpar_core-e575f869150db621.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/crm.rs crates/core/src/emc.rs crates/core/src/pec.rs
+
+/root/repo/target/debug/deps/libdualpar_core-e575f869150db621.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/crm.rs crates/core/src/emc.rs crates/core/src/pec.rs
+
+/root/repo/target/debug/deps/libdualpar_core-e575f869150db621.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/crm.rs crates/core/src/emc.rs crates/core/src/pec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/crm.rs:
+crates/core/src/emc.rs:
+crates/core/src/pec.rs:

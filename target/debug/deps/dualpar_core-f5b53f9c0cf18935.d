@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dualpar_core-f5b53f9c0cf18935.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/crm.rs crates/core/src/emc.rs crates/core/src/pec.rs
+
+/root/repo/target/debug/deps/dualpar_core-f5b53f9c0cf18935: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/crm.rs crates/core/src/emc.rs crates/core/src/pec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/crm.rs:
+crates/core/src/emc.rs:
+crates/core/src/pec.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dualpar_core-f9681f012582a892.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/crm.rs crates/core/src/emc.rs crates/core/src/pec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar_core-f9681f012582a892.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/crm.rs crates/core/src/emc.rs crates/core/src/pec.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/crm.rs:
+crates/core/src/emc.rs:
+crates/core/src/pec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

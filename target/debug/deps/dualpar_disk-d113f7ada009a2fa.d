@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dualpar_disk-d113f7ada009a2fa.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/request.rs crates/disk/src/sched/mod.rs crates/disk/src/sched/anticipatory.rs crates/disk/src/sched/cfq.rs crates/disk/src/sched/deadline.rs crates/disk/src/sched/simple.rs crates/disk/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar_disk-d113f7ada009a2fa.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/request.rs crates/disk/src/sched/mod.rs crates/disk/src/sched/anticipatory.rs crates/disk/src/sched/cfq.rs crates/disk/src/sched/deadline.rs crates/disk/src/sched/simple.rs crates/disk/src/trace.rs Cargo.toml
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/model.rs:
+crates/disk/src/request.rs:
+crates/disk/src/sched/mod.rs:
+crates/disk/src/sched/anticipatory.rs:
+crates/disk/src/sched/cfq.rs:
+crates/disk/src/sched/deadline.rs:
+crates/disk/src/sched/simple.rs:
+crates/disk/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

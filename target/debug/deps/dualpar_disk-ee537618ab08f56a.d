@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dualpar_disk-ee537618ab08f56a.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/request.rs crates/disk/src/sched/mod.rs crates/disk/src/sched/anticipatory.rs crates/disk/src/sched/cfq.rs crates/disk/src/sched/deadline.rs crates/disk/src/sched/simple.rs crates/disk/src/trace.rs
+
+/root/repo/target/debug/deps/libdualpar_disk-ee537618ab08f56a.rlib: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/request.rs crates/disk/src/sched/mod.rs crates/disk/src/sched/anticipatory.rs crates/disk/src/sched/cfq.rs crates/disk/src/sched/deadline.rs crates/disk/src/sched/simple.rs crates/disk/src/trace.rs
+
+/root/repo/target/debug/deps/libdualpar_disk-ee537618ab08f56a.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/request.rs crates/disk/src/sched/mod.rs crates/disk/src/sched/anticipatory.rs crates/disk/src/sched/cfq.rs crates/disk/src/sched/deadline.rs crates/disk/src/sched/simple.rs crates/disk/src/trace.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/model.rs:
+crates/disk/src/request.rs:
+crates/disk/src/sched/mod.rs:
+crates/disk/src/sched/anticipatory.rs:
+crates/disk/src/sched/cfq.rs:
+crates/disk/src/sched/deadline.rs:
+crates/disk/src/sched/simple.rs:
+crates/disk/src/trace.rs:

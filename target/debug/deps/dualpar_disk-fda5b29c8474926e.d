@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dualpar_disk-fda5b29c8474926e.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/request.rs crates/disk/src/sched/mod.rs crates/disk/src/sched/anticipatory.rs crates/disk/src/sched/cfq.rs crates/disk/src/sched/deadline.rs crates/disk/src/sched/simple.rs crates/disk/src/trace.rs
+
+/root/repo/target/debug/deps/dualpar_disk-fda5b29c8474926e: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/request.rs crates/disk/src/sched/mod.rs crates/disk/src/sched/anticipatory.rs crates/disk/src/sched/cfq.rs crates/disk/src/sched/deadline.rs crates/disk/src/sched/simple.rs crates/disk/src/trace.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/model.rs:
+crates/disk/src/request.rs:
+crates/disk/src/sched/mod.rs:
+crates/disk/src/sched/anticipatory.rs:
+crates/disk/src/sched/cfq.rs:
+crates/disk/src/sched/deadline.rs:
+crates/disk/src/sched/simple.rs:
+crates/disk/src/trace.rs:

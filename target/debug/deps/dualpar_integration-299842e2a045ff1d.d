@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dualpar_integration-299842e2a045ff1d.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar_integration-299842e2a045ff1d.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dualpar_integration-57d3084e9540a6d2.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdualpar_integration-57d3084e9540a6d2.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdualpar_integration-57d3084e9540a6d2.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

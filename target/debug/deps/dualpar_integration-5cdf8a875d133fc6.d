@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dualpar_integration-5cdf8a875d133fc6.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/dualpar_integration-5cdf8a875d133fc6: tests/src/lib.rs
+
+tests/src/lib.rs:

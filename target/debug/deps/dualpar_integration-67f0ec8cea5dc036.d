@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dualpar_integration-67f0ec8cea5dc036.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/dualpar_integration-67f0ec8cea5dc036: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dualpar_integration-ef73902a939057c4.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/dualpar_integration-ef73902a939057c4: tests/src/lib.rs
+
+tests/src/lib.rs:

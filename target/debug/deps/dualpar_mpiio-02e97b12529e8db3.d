@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dualpar_mpiio-02e97b12529e8db3.d: crates/mpiio/src/lib.rs crates/mpiio/src/access.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/ops.rs crates/mpiio/src/sieve.rs
+
+/root/repo/target/debug/deps/dualpar_mpiio-02e97b12529e8db3: crates/mpiio/src/lib.rs crates/mpiio/src/access.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/ops.rs crates/mpiio/src/sieve.rs
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/access.rs:
+crates/mpiio/src/collective.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/ops.rs:
+crates/mpiio/src/sieve.rs:

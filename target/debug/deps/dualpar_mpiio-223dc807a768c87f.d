@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dualpar_mpiio-223dc807a768c87f.d: crates/mpiio/src/lib.rs crates/mpiio/src/access.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/ops.rs crates/mpiio/src/sieve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar_mpiio-223dc807a768c87f.rmeta: crates/mpiio/src/lib.rs crates/mpiio/src/access.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/ops.rs crates/mpiio/src/sieve.rs Cargo.toml
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/access.rs:
+crates/mpiio/src/collective.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/ops.rs:
+crates/mpiio/src/sieve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

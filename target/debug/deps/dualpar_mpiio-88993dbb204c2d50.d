@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dualpar_mpiio-88993dbb204c2d50.d: crates/mpiio/src/lib.rs crates/mpiio/src/access.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/ops.rs crates/mpiio/src/sieve.rs
+
+/root/repo/target/debug/deps/libdualpar_mpiio-88993dbb204c2d50.rlib: crates/mpiio/src/lib.rs crates/mpiio/src/access.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/ops.rs crates/mpiio/src/sieve.rs
+
+/root/repo/target/debug/deps/libdualpar_mpiio-88993dbb204c2d50.rmeta: crates/mpiio/src/lib.rs crates/mpiio/src/access.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/ops.rs crates/mpiio/src/sieve.rs
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/access.rs:
+crates/mpiio/src/collective.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/ops.rs:
+crates/mpiio/src/sieve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dualpar_pfs-1bbc56403711a685.d: crates/pfs/src/lib.rs crates/pfs/src/alloc.rs crates/pfs/src/ranges.rs crates/pfs/src/fs.rs crates/pfs/src/layout.rs
+
+/root/repo/target/debug/deps/dualpar_pfs-1bbc56403711a685: crates/pfs/src/lib.rs crates/pfs/src/alloc.rs crates/pfs/src/ranges.rs crates/pfs/src/fs.rs crates/pfs/src/layout.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/alloc.rs:
+crates/pfs/src/ranges.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/layout.rs:

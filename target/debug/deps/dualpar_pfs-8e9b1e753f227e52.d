@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dualpar_pfs-8e9b1e753f227e52.d: crates/pfs/src/lib.rs crates/pfs/src/alloc.rs crates/pfs/src/ranges.rs crates/pfs/src/fs.rs crates/pfs/src/layout.rs
+
+/root/repo/target/debug/deps/libdualpar_pfs-8e9b1e753f227e52.rlib: crates/pfs/src/lib.rs crates/pfs/src/alloc.rs crates/pfs/src/ranges.rs crates/pfs/src/fs.rs crates/pfs/src/layout.rs
+
+/root/repo/target/debug/deps/libdualpar_pfs-8e9b1e753f227e52.rmeta: crates/pfs/src/lib.rs crates/pfs/src/alloc.rs crates/pfs/src/ranges.rs crates/pfs/src/fs.rs crates/pfs/src/layout.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/alloc.rs:
+crates/pfs/src/ranges.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/layout.rs:

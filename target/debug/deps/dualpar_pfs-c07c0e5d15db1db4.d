@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dualpar_pfs-c07c0e5d15db1db4.d: crates/pfs/src/lib.rs crates/pfs/src/alloc.rs crates/pfs/src/ranges.rs crates/pfs/src/fs.rs crates/pfs/src/layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar_pfs-c07c0e5d15db1db4.rmeta: crates/pfs/src/lib.rs crates/pfs/src/alloc.rs crates/pfs/src/ranges.rs crates/pfs/src/fs.rs crates/pfs/src/layout.rs Cargo.toml
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/alloc.rs:
+crates/pfs/src/ranges.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dualpar_sim-093ffd77848db2f8.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar_sim-093ffd77848db2f8.rmeta: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

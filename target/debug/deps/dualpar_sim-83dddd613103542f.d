@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dualpar_sim-83dddd613103542f.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/dualpar_sim-83dddd613103542f: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dualpar_sim-95630416cdb452d3.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libdualpar_sim-95630416cdb452d3.rlib: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libdualpar_sim-95630416cdb452d3.rmeta: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dualpar_telemetry-067131a0cf4119d3.d: crates/telemetry/src/lib.rs
+
+/root/repo/target/debug/deps/libdualpar_telemetry-067131a0cf4119d3.rlib: crates/telemetry/src/lib.rs
+
+/root/repo/target/debug/deps/libdualpar_telemetry-067131a0cf4119d3.rmeta: crates/telemetry/src/lib.rs
+
+crates/telemetry/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dualpar_telemetry-4856a14da3231845.d: crates/telemetry/src/lib.rs
+
+/root/repo/target/debug/deps/dualpar_telemetry-4856a14da3231845: crates/telemetry/src/lib.rs
+
+crates/telemetry/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dualpar_telemetry-c51e3cb71e91f679.d: crates/telemetry/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar_telemetry-c51e3cb71e91f679.rmeta: crates/telemetry/src/lib.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dualpar_workloads-79b685cd0b32029d.d: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/replay.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/dualpar_workloads-79b685cd0b32029d: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/replay.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/replay.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dualpar_workloads-d0f9c029be2a0358.d: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/replay.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libdualpar_workloads-d0f9c029be2a0358.rlib: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/replay.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libdualpar_workloads-d0f9c029be2a0358.rmeta: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/replay.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/replay.rs:
+crates/workloads/src/suite.rs:

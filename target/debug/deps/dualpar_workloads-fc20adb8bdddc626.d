@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dualpar_workloads-fc20adb8bdddc626.d: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/replay.rs crates/workloads/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdualpar_workloads-fc20adb8bdddc626.rmeta: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/replay.rs crates/workloads/src/suite.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/replay.rs:
+crates/workloads/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

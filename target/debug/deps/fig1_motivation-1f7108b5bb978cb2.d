@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_motivation-1f7108b5bb978cb2.d: crates/bench/benches/fig1_motivation.rs
+
+/root/repo/target/debug/deps/fig1_motivation-1f7108b5bb978cb2: crates/bench/benches/fig1_motivation.rs
+
+crates/bench/benches/fig1_motivation.rs:

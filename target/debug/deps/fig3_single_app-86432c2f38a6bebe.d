@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_single_app-86432c2f38a6bebe.d: crates/bench/benches/fig3_single_app.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_single_app-86432c2f38a6bebe.rmeta: crates/bench/benches/fig3_single_app.rs Cargo.toml
+
+crates/bench/benches/fig3_single_app.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

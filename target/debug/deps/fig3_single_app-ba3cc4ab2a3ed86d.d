@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_single_app-ba3cc4ab2a3ed86d.d: crates/bench/benches/fig3_single_app.rs
+
+/root/repo/target/debug/deps/fig3_single_app-ba3cc4ab2a3ed86d: crates/bench/benches/fig3_single_app.rs
+
+crates/bench/benches/fig3_single_app.rs:

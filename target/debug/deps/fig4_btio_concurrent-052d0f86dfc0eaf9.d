@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_btio_concurrent-052d0f86dfc0eaf9.d: crates/bench/benches/fig4_btio_concurrent.rs
+
+/root/repo/target/debug/deps/fig4_btio_concurrent-052d0f86dfc0eaf9: crates/bench/benches/fig4_btio_concurrent.rs
+
+crates/bench/benches/fig4_btio_concurrent.rs:

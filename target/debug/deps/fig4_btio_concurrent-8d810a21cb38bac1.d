@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_btio_concurrent-8d810a21cb38bac1.d: crates/bench/benches/fig4_btio_concurrent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_btio_concurrent-8d810a21cb38bac1.rmeta: crates/bench/benches/fig4_btio_concurrent.rs Cargo.toml
+
+crates/bench/benches/fig4_btio_concurrent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

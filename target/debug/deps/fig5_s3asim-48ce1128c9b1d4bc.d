@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_s3asim-48ce1128c9b1d4bc.d: crates/bench/benches/fig5_s3asim.rs
+
+/root/repo/target/debug/deps/fig5_s3asim-48ce1128c9b1d4bc: crates/bench/benches/fig5_s3asim.rs
+
+crates/bench/benches/fig5_s3asim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_s3asim-af168d2937dfacf5.d: crates/bench/benches/fig5_s3asim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_s3asim-af168d2937dfacf5.rmeta: crates/bench/benches/fig5_s3asim.rs Cargo.toml
+
+crates/bench/benches/fig5_s3asim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_adaptive-0426d52c87012045.d: crates/bench/benches/fig7_adaptive.rs
+
+/root/repo/target/debug/deps/fig7_adaptive-0426d52c87012045: crates/bench/benches/fig7_adaptive.rs
+
+crates/bench/benches/fig7_adaptive.rs:

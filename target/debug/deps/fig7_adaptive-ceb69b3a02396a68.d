@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_adaptive-ceb69b3a02396a68.d: crates/bench/benches/fig7_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_adaptive-ceb69b3a02396a68.rmeta: crates/bench/benches/fig7_adaptive.rs Cargo.toml
+
+crates/bench/benches/fig7_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_cache_size-306affe47220aa72.d: crates/bench/benches/fig8_cache_size.rs
+
+/root/repo/target/debug/deps/fig8_cache_size-306affe47220aa72: crates/bench/benches/fig8_cache_size.rs
+
+crates/bench/benches/fig8_cache_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ghost_properties-3dbad5983a1006f2.d: crates/core/tests/ghost_properties.rs
+
+/root/repo/target/debug/deps/ghost_properties-3dbad5983a1006f2: crates/core/tests/ghost_properties.rs
+
+crates/core/tests/ghost_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ghost_properties-c9b3e870fc53ec6a.d: crates/core/tests/ghost_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghost_properties-c9b3e870fc53ec6a.rmeta: crates/core/tests/ghost_properties.rs Cargo.toml
+
+crates/core/tests/ghost_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

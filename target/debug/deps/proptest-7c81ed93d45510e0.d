@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7c81ed93d45510e0.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7c81ed93d45510e0.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

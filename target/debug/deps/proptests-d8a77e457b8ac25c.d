@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d8a77e457b8ac25c.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d8a77e457b8ac25c: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

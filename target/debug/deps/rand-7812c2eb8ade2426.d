@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-7812c2eb8ade2426.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7812c2eb8ade2426.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_programs-0fc629f2cfaf68a8.d: tests/tests/random_programs.rs
+
+/root/repo/target/debug/deps/random_programs-0fc629f2cfaf68a8: tests/tests/random_programs.rs
+
+tests/tests/random_programs.rs:

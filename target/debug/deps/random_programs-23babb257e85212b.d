@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_programs-23babb257e85212b.d: tests/tests/random_programs.rs
+
+/root/repo/target/debug/deps/random_programs-23babb257e85212b: tests/tests/random_programs.rs
+
+tests/tests/random_programs.rs:

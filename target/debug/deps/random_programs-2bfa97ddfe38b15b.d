@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_programs-2bfa97ddfe38b15b.d: tests/tests/random_programs.rs
+
+/root/repo/target/debug/deps/random_programs-2bfa97ddfe38b15b: tests/tests/random_programs.rs
+
+tests/tests/random_programs.rs:

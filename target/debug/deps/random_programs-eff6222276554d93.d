@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_programs-eff6222276554d93.d: tests/tests/random_programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_programs-eff6222276554d93.rmeta: tests/tests/random_programs.rs Cargo.toml
+
+tests/tests/random_programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

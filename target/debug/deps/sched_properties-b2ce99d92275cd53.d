@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_properties-b2ce99d92275cd53.d: crates/disk/tests/sched_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_properties-b2ce99d92275cd53.rmeta: crates/disk/tests/sched_properties.rs Cargo.toml
+
+crates/disk/tests/sched_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_properties-ecc4b42865f1cdf0.d: crates/disk/tests/sched_properties.rs
+
+/root/repo/target/debug/deps/sched_properties-ecc4b42865f1cdf0: crates/disk/tests/sched_properties.rs
+
+crates/disk/tests/sched_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-50f73600b60a86e9.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-50f73600b60a86e9.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

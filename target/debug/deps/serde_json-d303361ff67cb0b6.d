@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-d303361ff67cb0b6.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d303361ff67cb0b6.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d303361ff67cb0b6.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-f1dcf10c3c0550ee.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f1dcf10c3c0550ee.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shapes-332f054c672cd716.d: tests/tests/shapes.rs
+
+/root/repo/target/debug/deps/shapes-332f054c672cd716: tests/tests/shapes.rs
+
+tests/tests/shapes.rs:

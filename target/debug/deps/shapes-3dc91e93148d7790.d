@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shapes-3dc91e93148d7790.d: tests/tests/shapes.rs
+
+/root/repo/target/debug/deps/shapes-3dc91e93148d7790: tests/tests/shapes.rs
+
+tests/tests/shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shapes-4baa5d45ef5912f1.d: tests/tests/shapes.rs
+
+/root/repo/target/debug/deps/shapes-4baa5d45ef5912f1: tests/tests/shapes.rs
+
+tests/tests/shapes.rs:

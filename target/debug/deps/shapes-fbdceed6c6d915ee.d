@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shapes-fbdceed6c6d915ee.d: tests/tests/shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshapes-fbdceed6c6d915ee.rmeta: tests/tests/shapes.rs Cargo.toml
+
+tests/tests/shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_microbench-44f6059150792f77.d: crates/bench/benches/sim_microbench.rs
+
+/root/repo/target/debug/deps/sim_microbench-44f6059150792f77: crates/bench/benches/sim_microbench.rs
+
+crates/bench/benches/sim_microbench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_microbench-ef5ba14e5aec02b1.d: crates/bench/benches/sim_microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_microbench-ef5ba14e5aec02b1.rmeta: crates/bench/benches/sim_microbench.rs Cargo.toml
+
+crates/bench/benches/sim_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-20ed532e0f8b9821.d: tests/tests/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-20ed532e0f8b9821.rmeta: tests/tests/smoke.rs Cargo.toml
+
+tests/tests/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

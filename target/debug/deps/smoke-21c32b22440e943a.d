@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-21c32b22440e943a.d: tests/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-21c32b22440e943a: tests/tests/smoke.rs
+
+tests/tests/smoke.rs:

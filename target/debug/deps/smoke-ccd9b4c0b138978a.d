@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-ccd9b4c0b138978a.d: tests/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-ccd9b4c0b138978a: tests/tests/smoke.rs
+
+tests/tests/smoke.rs:

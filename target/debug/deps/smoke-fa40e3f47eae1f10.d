@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-fa40e3f47eae1f10.d: tests/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-fa40e3f47eae1f10: tests/tests/smoke.rs
+
+tests/tests/smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/striping_properties-6f2a42af22a81951.d: crates/pfs/tests/striping_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstriping_properties-6f2a42af22a81951.rmeta: crates/pfs/tests/striping_properties.rs Cargo.toml
+
+crates/pfs/tests/striping_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/striping_properties-72ed2f329c320294.d: crates/pfs/tests/striping_properties.rs
+
+/root/repo/target/debug/deps/striping_properties-72ed2f329c320294: crates/pfs/tests/striping_properties.rs
+
+crates/pfs/tests/striping_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_mpiio_interference-82a3622afb1c9242.d: crates/bench/benches/table2_mpiio_interference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_mpiio_interference-82a3622afb1c9242.rmeta: crates/bench/benches/table2_mpiio_interference.rs Cargo.toml
+
+crates/bench/benches/table2_mpiio_interference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_mpiio_interference-d07ee5059c97d7ee.d: crates/bench/benches/table2_mpiio_interference.rs
+
+/root/repo/target/debug/deps/table2_mpiio_interference-d07ee5059c97d7ee: crates/bench/benches/table2_mpiio_interference.rs
+
+crates/bench/benches/table2_mpiio_interference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_misprefetch-4a517acea0f0b61e.d: crates/bench/benches/table3_misprefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_misprefetch-4a517acea0f0b61e.rmeta: crates/bench/benches/table3_misprefetch.rs Cargo.toml
+
+crates/bench/benches/table3_misprefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

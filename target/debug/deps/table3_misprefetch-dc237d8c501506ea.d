@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_misprefetch-dc237d8c501506ea.d: crates/bench/benches/table3_misprefetch.rs
+
+/root/repo/target/debug/deps/table3_misprefetch-dc237d8c501506ea: crates/bench/benches/table3_misprefetch.rs
+
+crates/bench/benches/table3_misprefetch.rs:

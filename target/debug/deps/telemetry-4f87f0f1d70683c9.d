@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-4f87f0f1d70683c9.d: tests/tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-4f87f0f1d70683c9.rmeta: tests/tests/telemetry.rs Cargo.toml
+
+tests/tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-90f6c15e6b25ba39.d: tests/tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-90f6c15e6b25ba39: tests/tests/telemetry.rs
+
+tests/tests/telemetry.rs:

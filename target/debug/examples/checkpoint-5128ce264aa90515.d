@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/checkpoint-5128ce264aa90515.d: crates/bench/../../examples/checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcheckpoint-5128ce264aa90515.rmeta: crates/bench/../../examples/checkpoint.rs Cargo.toml
+
+crates/bench/../../examples/checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

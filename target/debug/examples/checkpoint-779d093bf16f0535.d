@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint-779d093bf16f0535.d: crates/bench/../../examples/checkpoint.rs
+
+/root/repo/target/debug/examples/checkpoint-779d093bf16f0535: crates/bench/../../examples/checkpoint.rs
+
+crates/bench/../../examples/checkpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint-ece0eaa468cc932b.d: crates/bench/../../examples/checkpoint.rs
+
+/root/repo/target/debug/examples/checkpoint-ece0eaa468cc932b: crates/bench/../../examples/checkpoint.rs
+
+crates/bench/../../examples/checkpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-2286977cea1f5891.d: crates/bench/../../examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-2286977cea1f5891: crates/bench/../../examples/custom_workload.rs
+
+crates/bench/../../examples/custom_workload.rs:

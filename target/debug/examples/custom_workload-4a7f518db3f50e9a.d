@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-4a7f518db3f50e9a.d: crates/bench/../../examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-4a7f518db3f50e9a: crates/bench/../../examples/custom_workload.rs
+
+crates/bench/../../examples/custom_workload.rs:

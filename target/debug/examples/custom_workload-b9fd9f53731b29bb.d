@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_workload-b9fd9f53731b29bb.d: crates/bench/../../examples/custom_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_workload-b9fd9f53731b29bb.rmeta: crates/bench/../../examples/custom_workload.rs Cargo.toml
+
+crates/bench/../../examples/custom_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interference-0aea9b2b7225e65e.d: crates/bench/../../examples/interference.rs
+
+/root/repo/target/debug/examples/interference-0aea9b2b7225e65e: crates/bench/../../examples/interference.rs
+
+crates/bench/../../examples/interference.rs:

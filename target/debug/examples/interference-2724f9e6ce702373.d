@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interference-2724f9e6ce702373.d: crates/bench/../../examples/interference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterference-2724f9e6ce702373.rmeta: crates/bench/../../examples/interference.rs Cargo.toml
+
+crates/bench/../../examples/interference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interference-4aa4517452e9c452.d: crates/bench/../../examples/interference.rs
+
+/root/repo/target/debug/examples/interference-4aa4517452e9c452: crates/bench/../../examples/interference.rs
+
+crates/bench/../../examples/interference.rs:

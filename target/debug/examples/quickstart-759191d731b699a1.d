@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-759191d731b699a1.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-759191d731b699a1: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ea5799896b101dc9.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ea5799896b101dc9: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

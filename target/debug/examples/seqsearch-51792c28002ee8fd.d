@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seqsearch-51792c28002ee8fd.d: crates/bench/../../examples/seqsearch.rs
+
+/root/repo/target/debug/examples/seqsearch-51792c28002ee8fd: crates/bench/../../examples/seqsearch.rs
+
+crates/bench/../../examples/seqsearch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/seqsearch-a5068c4be41207df.d: crates/bench/../../examples/seqsearch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libseqsearch-a5068c4be41207df.rmeta: crates/bench/../../examples/seqsearch.rs Cargo.toml
+
+crates/bench/../../examples/seqsearch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

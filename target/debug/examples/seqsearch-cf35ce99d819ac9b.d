@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seqsearch-cf35ce99d819ac9b.d: crates/bench/../../examples/seqsearch.rs
+
+/root/repo/target/debug/examples/seqsearch-cf35ce99d819ac9b: crates/bench/../../examples/seqsearch.rs
+
+crates/bench/../../examples/seqsearch.rs:

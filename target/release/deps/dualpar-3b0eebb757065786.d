@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dualpar-3b0eebb757065786.d: crates/bench/src/bin/dualpar.rs
+
+/root/repo/target/release/deps/dualpar-3b0eebb757065786: crates/bench/src/bin/dualpar.rs
+
+crates/bench/src/bin/dualpar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dualpar-64049d6d03290fe7.d: crates/bench/src/bin/dualpar.rs
+
+/root/repo/target/release/deps/dualpar-64049d6d03290fe7: crates/bench/src/bin/dualpar.rs
+
+crates/bench/src/bin/dualpar.rs:

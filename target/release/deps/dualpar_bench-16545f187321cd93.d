@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dualpar_bench-16545f187321cd93.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libdualpar_bench-16545f187321cd93.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libdualpar_bench-16545f187321cd93.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

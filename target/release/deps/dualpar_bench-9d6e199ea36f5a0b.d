@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dualpar_bench-9d6e199ea36f5a0b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libdualpar_bench-9d6e199ea36f5a0b.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libdualpar_bench-9d6e199ea36f5a0b.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dualpar_cache-f06d197d7864f4b9.d: crates/cache/src/lib.rs crates/cache/src/store.rs
+
+/root/repo/target/release/deps/libdualpar_cache-f06d197d7864f4b9.rlib: crates/cache/src/lib.rs crates/cache/src/store.rs
+
+/root/repo/target/release/deps/libdualpar_cache-f06d197d7864f4b9.rmeta: crates/cache/src/lib.rs crates/cache/src/store.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/store.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dualpar_cluster-3e386ab2f03190a3.d: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/builder.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/release/deps/libdualpar_cluster-3e386ab2f03190a3.rlib: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/builder.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/release/deps/libdualpar_cluster-3e386ab2f03190a3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/builder.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/datadriven.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/exec.rs:
+crates/cluster/src/builder.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/metrics.rs:

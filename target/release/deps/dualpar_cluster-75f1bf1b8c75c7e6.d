@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dualpar_cluster-75f1bf1b8c75c7e6.d: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/release/deps/libdualpar_cluster-75f1bf1b8c75c7e6.rlib: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/release/deps/libdualpar_cluster-75f1bf1b8c75c7e6.rmeta: crates/cluster/src/lib.rs crates/cluster/src/datadriven.rs crates/cluster/src/engine.rs crates/cluster/src/exec.rs crates/cluster/src/config.rs crates/cluster/src/metrics.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/datadriven.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/exec.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/metrics.rs:

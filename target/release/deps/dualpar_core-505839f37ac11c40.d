@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dualpar_core-505839f37ac11c40.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/crm.rs crates/core/src/emc.rs crates/core/src/pec.rs
+
+/root/repo/target/release/deps/libdualpar_core-505839f37ac11c40.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/crm.rs crates/core/src/emc.rs crates/core/src/pec.rs
+
+/root/repo/target/release/deps/libdualpar_core-505839f37ac11c40.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/crm.rs crates/core/src/emc.rs crates/core/src/pec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/crm.rs:
+crates/core/src/emc.rs:
+crates/core/src/pec.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dualpar_disk-2c2c789a65f7d4cc.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/request.rs crates/disk/src/sched/mod.rs crates/disk/src/sched/anticipatory.rs crates/disk/src/sched/cfq.rs crates/disk/src/sched/deadline.rs crates/disk/src/sched/simple.rs crates/disk/src/trace.rs
+
+/root/repo/target/release/deps/libdualpar_disk-2c2c789a65f7d4cc.rlib: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/request.rs crates/disk/src/sched/mod.rs crates/disk/src/sched/anticipatory.rs crates/disk/src/sched/cfq.rs crates/disk/src/sched/deadline.rs crates/disk/src/sched/simple.rs crates/disk/src/trace.rs
+
+/root/repo/target/release/deps/libdualpar_disk-2c2c789a65f7d4cc.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/model.rs crates/disk/src/request.rs crates/disk/src/sched/mod.rs crates/disk/src/sched/anticipatory.rs crates/disk/src/sched/cfq.rs crates/disk/src/sched/deadline.rs crates/disk/src/sched/simple.rs crates/disk/src/trace.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/model.rs:
+crates/disk/src/request.rs:
+crates/disk/src/sched/mod.rs:
+crates/disk/src/sched/anticipatory.rs:
+crates/disk/src/sched/cfq.rs:
+crates/disk/src/sched/deadline.rs:
+crates/disk/src/sched/simple.rs:
+crates/disk/src/trace.rs:

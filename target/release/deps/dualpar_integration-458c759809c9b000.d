@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dualpar_integration-458c759809c9b000.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdualpar_integration-458c759809c9b000.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdualpar_integration-458c759809c9b000.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

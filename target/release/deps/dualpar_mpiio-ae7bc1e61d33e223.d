@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dualpar_mpiio-ae7bc1e61d33e223.d: crates/mpiio/src/lib.rs crates/mpiio/src/access.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/ops.rs crates/mpiio/src/sieve.rs
+
+/root/repo/target/release/deps/libdualpar_mpiio-ae7bc1e61d33e223.rlib: crates/mpiio/src/lib.rs crates/mpiio/src/access.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/ops.rs crates/mpiio/src/sieve.rs
+
+/root/repo/target/release/deps/libdualpar_mpiio-ae7bc1e61d33e223.rmeta: crates/mpiio/src/lib.rs crates/mpiio/src/access.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/ops.rs crates/mpiio/src/sieve.rs
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/access.rs:
+crates/mpiio/src/collective.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/ops.rs:
+crates/mpiio/src/sieve.rs:

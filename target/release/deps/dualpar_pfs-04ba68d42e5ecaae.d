@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dualpar_pfs-04ba68d42e5ecaae.d: crates/pfs/src/lib.rs crates/pfs/src/alloc.rs crates/pfs/src/ranges.rs crates/pfs/src/fs.rs crates/pfs/src/layout.rs
+
+/root/repo/target/release/deps/libdualpar_pfs-04ba68d42e5ecaae.rlib: crates/pfs/src/lib.rs crates/pfs/src/alloc.rs crates/pfs/src/ranges.rs crates/pfs/src/fs.rs crates/pfs/src/layout.rs
+
+/root/repo/target/release/deps/libdualpar_pfs-04ba68d42e5ecaae.rmeta: crates/pfs/src/lib.rs crates/pfs/src/alloc.rs crates/pfs/src/ranges.rs crates/pfs/src/fs.rs crates/pfs/src/layout.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/alloc.rs:
+crates/pfs/src/ranges.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/layout.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dualpar_telemetry-ddc81a24e9708437.d: crates/telemetry/src/lib.rs
+
+/root/repo/target/release/deps/libdualpar_telemetry-ddc81a24e9708437.rlib: crates/telemetry/src/lib.rs
+
+/root/repo/target/release/deps/libdualpar_telemetry-ddc81a24e9708437.rmeta: crates/telemetry/src/lib.rs
+
+crates/telemetry/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dualpar_workloads-63edfeb56c613e24.d: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/replay.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libdualpar_workloads-63edfeb56c613e24.rlib: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/replay.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libdualpar_workloads-63edfeb56c613e24.rmeta: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/replay.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/replay.rs:
+crates/workloads/src/suite.rs:

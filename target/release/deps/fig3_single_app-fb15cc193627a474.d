@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_single_app-fb15cc193627a474.d: crates/bench/benches/fig3_single_app.rs
+
+/root/repo/target/release/deps/fig3_single_app-fb15cc193627a474: crates/bench/benches/fig3_single_app.rs
+
+crates/bench/benches/fig3_single_app.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-b94d58a8c4b5dd10.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-b94d58a8c4b5dd10.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-b94d58a8c4b5dd10.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fb837c8f7f1b895b.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fb837c8f7f1b895b: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

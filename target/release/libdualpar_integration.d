@@ -1,0 +1,1 @@
+/root/repo/target/release/libdualpar_integration.rlib: /root/repo/tests/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libdualpar_telemetry.rlib: /root/repo/crates/telemetry/src/lib.rs /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde_derive/src/lib.rs
