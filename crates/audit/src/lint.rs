@@ -1,0 +1,362 @@
+//! Source-lint pass for the DualPar workspace.
+//!
+//! Walks `crates/*/src` and flags patterns the project bans in library
+//! code:
+//!
+//! - `.unwrap()` and `panic!(` — library code must carry a message
+//!   (`expect`) or propagate an error; test modules are exempt;
+//! - `std::sync::Mutex` — the workspace standardizes on `parking_lot`;
+//! - narrowing `as` casts (`as u8/u16/u32/i8/i16/i32/f32`) in the disk and
+//!   cache hot paths, where silently truncating an LBN or byte count is a
+//!   correctness bug.
+//!
+//! `#[cfg(test)]` items are skipped (the pass tracks the brace extent of
+//! the annotated item), as are comments and string-literal contents.
+//! Deliberate exceptions live in an allow-list file
+//! (`scripts/lint-allow.txt`), one entry per line:
+//!
+//! ```text
+//! rule  path-suffix  substring-of-the-offending-line
+//! ```
+//!
+//! or inline, by putting `audit:allow` in a comment on the flagged line.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Names of the lint rules, as used in findings and allow-list entries.
+pub const RULES: [&str; 4] = ["unwrap", "panic", "std-mutex", "narrowing-cast"];
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintFinding {
+    /// File the pattern was found in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub text: String,
+}
+
+impl LintFinding {
+    /// `path:line: [rule] text` — the shape editors can jump to.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.text
+        )
+    }
+}
+
+/// Deliberate exceptions to the lint rules.
+#[derive(Debug, Clone, Default)]
+pub struct AllowList {
+    entries: Vec<(String, String, String)>,
+}
+
+impl AllowList {
+    /// Parse allow-list text: `rule path-suffix substring` per line, `#`
+    /// comments and blank lines ignored. The substring is the rest of the
+    /// line (it may contain spaces).
+    pub fn parse(text: &str) -> AllowList {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            if let (Some(rule), Some(path)) = (parts.next(), parts.next()) {
+                let substr = parts.next().unwrap_or("").trim().to_string();
+                entries.push((rule.to_string(), path.to_string(), substr));
+            }
+        }
+        AllowList { entries }
+    }
+
+    /// Load from a file.
+    pub fn load(path: &Path) -> io::Result<AllowList> {
+        Ok(AllowList::parse(&fs::read_to_string(path)?))
+    }
+
+    /// Does some entry cover this finding? Matching is by rule name, path
+    /// suffix, and (if the entry gives one) a substring of the source
+    /// line — robust to line-number drift.
+    pub fn permits(&self, f: &LintFinding) -> bool {
+        let path = slash_path(&f.path);
+        self.entries.iter().any(|(rule, suffix, substr)| {
+            rule == f.rule
+                && path.ends_with(suffix.as_str())
+                && (substr.is_empty() || f.text.contains(substr.as_str()))
+        })
+    }
+}
+
+fn slash_path(p: &Path) -> String {
+    p.to_string_lossy().replace('\\', "/")
+}
+
+/// Strip string-literal contents, char literals, and `//` comments from a
+/// source line so the rules match only real code. Multi-line literals are
+/// not tracked; the allow-list is the escape hatch for those rare cases.
+fn sanitize(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => break,
+            b'"' => {
+                // Skip to the closing quote, honouring escapes.
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\u{..}') vs. lifetime ('a).
+                let rest = &bytes[i + 1..];
+                let lit_len = if rest.first() == Some(&b'\\') {
+                    rest.iter().position(|&b| b == b'\'').map(|p| p + 2)
+                } else if rest.len() >= 2 && rest[1] == b'\'' {
+                    Some(3)
+                } else {
+                    None
+                };
+                match lit_len {
+                    Some(n) => {
+                        out.push_str("''");
+                        i += n;
+                    }
+                    None => {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn brace_delta(sanitized: &str) -> i32 {
+    let mut d = 0;
+    for c in sanitized.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Is the narrowing-cast token at `pos` a whole word (`x as u32;` yes,
+/// `x as u32x` no)?
+fn word_boundary_after(s: &str, end: usize) -> bool {
+    s[end..]
+        .chars()
+        .next()
+        .map(|c| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(true)
+}
+
+const NARROW_CASTS: [&str; 7] = [
+    " as u8", " as u16", " as u32", " as i8", " as i16", " as i32", " as f32",
+];
+
+/// Lint one file's source text. `in_hot_path` turns on the narrowing-cast
+/// rule (disk and cache crates).
+pub fn lint_source(path: &Path, src: &str, in_hot_path: bool) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    // Brace depth of a `#[cfg(test)]` item we are currently skipping.
+    let mut skip_depth: Option<i32> = None;
+    let mut pending_cfg_test = false;
+    for (lineno, raw) in src.lines().enumerate() {
+        let sanitized = sanitize(raw);
+        let code = sanitized.trim();
+        if let Some(depth) = skip_depth.as_mut() {
+            *depth += brace_delta(&sanitized);
+            if *depth <= 0 {
+                skip_depth = None;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            // The attribute applies to this item; skip its brace extent.
+            let d = brace_delta(&sanitized);
+            if d > 0 {
+                skip_depth = Some(d);
+                pending_cfg_test = false;
+            } else if !code.is_empty() && !code.starts_with("#[") {
+                // One-line item (e.g. `mod tests;`).
+                pending_cfg_test = false;
+            }
+            continue;
+        }
+        if raw.contains("audit:allow") {
+            continue;
+        }
+        let mut hit = |rule: &'static str| {
+            findings.push(LintFinding {
+                path: path.to_path_buf(),
+                line: lineno + 1,
+                rule,
+                text: raw.trim().to_string(),
+            });
+        };
+        if code.contains(".unwrap()") {
+            hit("unwrap");
+        }
+        if code.contains("panic!(") {
+            hit("panic");
+        }
+        if code.contains("std::sync::Mutex") {
+            hit("std-mutex");
+        }
+        if in_hot_path {
+            for pat in NARROW_CASTS {
+                if let Some(pos) = code.find(pat) {
+                    if word_boundary_after(code, pos + pat.len()) {
+                        hit("narrowing-cast");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `crates/*/src/**/*.rs` under `root`, dropping findings the
+/// allow-list covers. Results are sorted by path and line.
+pub fn lint_workspace(root: &Path, allow: &AllowList) -> io::Result<Vec<LintFinding>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let slashed = slash_path(&path);
+        let hot = slashed.contains("/disk/src/") || slashed.contains("/cache/src/");
+        findings.extend(
+            lint_source(&path, &text, hot)
+                .into_iter()
+                .filter(|f| !allow.permits(f)),
+        );
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(src: &str, hot: bool) -> Vec<&'static str> {
+        lint_source(Path::new("crates/x/src/lib.rs"), src, hot)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_panic_in_library_code() {
+        let src = "fn f() {\n    let x = opt.unwrap();\n    panic!(\"boom\");\n}\n";
+        assert_eq!(lint_str(src, false), vec!["unwrap", "panic"]);
+    }
+
+    #[test]
+    fn skips_cfg_test_modules_and_comments() {
+        let src = "fn f() {}\n\
+                   // opt.unwrap() in a comment is fine\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { opt.unwrap(); panic!(\"ok in tests\"); }\n\
+                   }\n";
+        assert!(lint_str(src, false).is_empty());
+    }
+
+    #[test]
+    fn string_contents_do_not_match() {
+        let src = "fn f() { let s = \".unwrap() panic!( std::sync::Mutex\"; use_(s); }\n";
+        assert!(lint_str(src, false).is_empty());
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_derail_sanitizer() {
+        let src = "fn f(c: char) { match c { '\"' => opt.unwrap(), _ => {} } }\n";
+        assert_eq!(lint_str(src, false), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn narrowing_casts_only_flagged_in_hot_paths() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+        assert_eq!(lint_str(src, true), vec!["narrowing-cast"]);
+        assert!(lint_str(src, false).is_empty());
+        // `as usize` is not narrowing on the supported targets.
+        assert!(lint_str("fn f(x: u32) -> usize { x as usize }\n", true).is_empty());
+    }
+
+    #[test]
+    fn inline_marker_and_allow_list_suppress() {
+        let src = "fn f() { opt.unwrap(); } // audit:allow — startup only\n";
+        assert!(lint_str(src, false).is_empty());
+        let f = LintFinding {
+            path: PathBuf::from("crates/bench/src/lib.rs"),
+            line: 10,
+            rule: "unwrap",
+            text: "let name = dat.file_name().unwrap();".to_string(),
+        };
+        let allow = AllowList::parse(
+            "# comment\n\
+             unwrap crates/bench/src/lib.rs file_name()\n",
+        );
+        assert!(allow.permits(&f));
+        let other = LintFinding {
+            path: PathBuf::from("crates/core/src/emc.rs"),
+            ..f.clone()
+        };
+        assert!(!allow.permits(&other));
+    }
+}

@@ -1,0 +1,107 @@
+//! `dualpar-audit` — trace auditor and source linter for the DualPar
+//! workspace.
+//!
+//! ```text
+//! dualpar-audit trace <trace.jsonl> [--json <out.json>]
+//! dualpar-audit lint [--root <dir>] [--allow <file>]
+//! ```
+//!
+//! Exit status: 0 — clean; 1 — violations or lint findings; 2 — usage or
+//! I/O error.
+
+use dualpar_audit::lint::{lint_workspace, AllowList};
+use dualpar_audit::{audit_jsonl_str, AuditConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dualpar-audit trace <trace.jsonl> [--json <out.json>]\n       dualpar-audit lint [--root <dir>] [--allow <file>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("dualpar-audit: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<bool, String> {
+    let mut trace_path: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_out = Some(PathBuf::from(
+                    it.next().ok_or("--json needs a path")?,
+                ));
+            }
+            _ if trace_path.is_none() => trace_path = Some(PathBuf::from(arg)),
+            _ => return Err(USAGE.to_string()),
+        }
+    }
+    let trace_path = trace_path.ok_or(USAGE)?;
+    let text = fs::read_to_string(&trace_path)
+        .map_err(|e| format!("reading {}: {e}", trace_path.display()))?;
+    let report = audit_jsonl_str(&text, AuditConfig::default())
+        .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+    for v in &report.violations {
+        println!(
+            "violation at event {} (t={}): [{}] {}",
+            v.index, v.t, v.check, v.message
+        );
+    }
+    let json = report.to_json();
+    match &json_out {
+        Some(path) => fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?,
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "dualpar-audit: {} events, {} violation(s)",
+        report.events,
+        report.violations.len()
+    );
+    Ok(report.ok())
+}
+
+fn cmd_lint(args: &[String]) -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(it.next().ok_or("--root needs a path")?),
+            "--allow" => {
+                allow_path = Some(PathBuf::from(it.next().ok_or("--allow needs a path")?));
+            }
+            _ => return Err(USAGE.to_string()),
+        }
+    }
+    let allow = match &allow_path {
+        Some(path) => AllowList::load(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?,
+        None => AllowList::default(),
+    };
+    let findings =
+        lint_workspace(&root, &allow).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    for f in &findings {
+        println!("{}", f.render());
+    }
+    eprintln!("dualpar-audit: {} lint finding(s)", findings.len());
+    Ok(findings.is_empty())
+}

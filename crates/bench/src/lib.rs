@@ -118,7 +118,7 @@ pub fn save_gnuplot(
         let style = if lines { "with linespoints" } else { "with points pt 7 ps 0.3" };
         plot_clauses.push(format!(
             "'{}' {style} title '{label}'",
-            dat.file_name().unwrap().to_string_lossy()
+            dat.file_name().expect("joined path has a file name").to_string_lossy()
         ));
     }
     let gp = dir.join(format!("{name}.gp"));

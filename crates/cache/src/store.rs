@@ -100,6 +100,42 @@ pub struct CacheStats {
     pub dirty_hwm: u64,
 }
 
+/// Exact byte ledger of speculative (prefetched) data, maintained as a
+/// delta on every mutation of the chunks' `prefetched_unused` coverage.
+/// Unlike [`CacheStats`] (which counts request bytes and can double-count
+/// overlapping inserts), the ledger is conservation-exact:
+///
+/// ```text
+/// inserted == consumed + overwritten + evicted + misprefetched + unused_now
+/// ```
+///
+/// The trace auditor (`dualpar-audit`) checks this identity on the
+/// `cache/conservation` trace event the engine emits at end of run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PrefetchLedger {
+    /// New speculative bytes added by `put_prefetch` (overlaps excluded).
+    pub inserted: u64,
+    /// Speculative bytes consumed by a normal read.
+    pub consumed: u64,
+    /// Speculative bytes overwritten by a buffered write (live data now).
+    pub overwritten: u64,
+    /// Speculative bytes dropped by any eviction/invalidation path.
+    pub evicted: u64,
+    /// Speculative bytes written off as mis-prefetched at epoch ends.
+    pub misprefetched: u64,
+    /// Speculative bytes still sitting unused in the cache.
+    pub unused_now: u64,
+}
+
+impl PrefetchLedger {
+    /// Does the conservation identity hold?
+    pub fn balanced(&self) -> bool {
+        self.inserted
+            == self.consumed + self.overwritten + self.evicted + self.misprefetched
+                + self.unused_now
+    }
+}
+
 /// The distributed cache (metadata model).
 pub struct GlobalCache {
     cfg: CacheConfig,
@@ -110,6 +146,8 @@ pub struct GlobalCache {
     /// mis-prefetch ratio).
     epoch_prefetched: HashMap<OwnerId, u64>,
     stats: CacheStats,
+    /// Conservation-exact accounting of prefetched bytes.
+    ledger: PrefetchLedger,
     /// Incremental mirror of [`GlobalCache::dirty_bytes`] — dirty data only
     /// changes in `put_write` and `drain_dirty` (evictions skip dirty
     /// chunks), so a running total avoids the O(chunks) scan per update.
@@ -126,6 +164,7 @@ impl GlobalCache {
             usage: HashMap::new(),
             epoch_prefetched: HashMap::new(),
             stats: CacheStats::default(),
+            ledger: PrefetchLedger::default(),
             dirty_now: 0,
         }
     }
@@ -140,10 +179,55 @@ impl GlobalCache {
         self.stats
     }
 
+    /// The conservation-exact prefetched-byte ledger.
+    pub fn prefetch_ledger(&self) -> PrefetchLedger {
+        self.ledger
+    }
+
+    /// Recount the speculative bytes actually present in the chunks.
+    fn scan_unused(&self) -> u64 {
+        self.chunks
+            .values()
+            .map(|c| c.prefetched_unused.covered())
+            .sum()
+    }
+
+    /// Panic unless the ledger balances *and* its incremental `unused_now`
+    /// matches a full rescan of the chunks. O(chunks) — used by property
+    /// tests and the strict-invariant checks at phase boundaries.
+    pub fn assert_conservation(&self) {
+        assert!(
+            self.ledger.balanced(),
+            "prefetch ledger out of balance: {:?}",
+            self.ledger
+        );
+        assert_eq!(
+            self.ledger.unused_now,
+            self.scan_unused(),
+            "prefetch ledger unused_now diverged from chunk contents"
+        );
+    }
+
+    /// Drop `removed` speculative bytes into the given ledger bucket.
+    fn ledger_remove(&mut self, removed: u64, bucket: fn(&mut PrefetchLedger) -> &mut u64) {
+        if removed == 0 {
+            return;
+        }
+        dualpar_sim::strict_assert!(
+            self.ledger.unused_now >= removed,
+            "prefetch ledger underflow: removing {removed} of {}",
+            self.ledger.unused_now
+        );
+        self.ledger.unused_now = self.ledger.unused_now.saturating_sub(removed);
+        *bucket(&mut self.ledger) += removed;
+    }
+
     /// Home node of a chunk: round-robin by chunk index (§IV-D).
     #[inline]
     pub fn home_of(&self, _file: FileId, chunk_idx: u64) -> NodeId {
-        NodeId((chunk_idx % self.cfg.num_nodes as u64) as u32)
+        let node = u32::try_from(chunk_idx % u64::from(self.cfg.num_nodes))
+            .expect("residue of a u32 modulus fits in u32");
+        NodeId(node)
     }
 
     fn chunk_range(&self, region: FileRegion) -> (u64, u64) {
@@ -191,14 +275,19 @@ impl GlobalCache {
             let home = self.home_of(file, idx);
             let mut chunk = self.chunks.remove(&(file, idx)).unwrap_or_default();
             let before = chunk.present.covered();
+            let pf_before = chunk.prefetched_unused.covered();
             chunk.present.insert(sub.offset, sub.len);
             chunk.prefetched_unused.insert(sub.offset, sub.len);
             chunk.last_ref = now;
             let added = chunk.present.covered() - before;
+            let pf_added = chunk.prefetched_unused.covered() - pf_before;
+            self.ledger.inserted += pf_added;
+            self.ledger.unused_now += pf_added;
             self.charge(&mut chunk, owner, added);
             self.chunks.insert((file, idx), chunk);
             homes.push((home, sub.len));
         }
+        dualpar_sim::strict_assert!(self.ledger.balanced(), "ledger after put_prefetch");
         self.stats.bytes_prefetched += region.len;
         *self.epoch_prefetched.entry(owner).or_insert(0) += region.len;
         for &(home, _) in &homes {
@@ -216,22 +305,27 @@ impl GlobalCache {
         now: SimTime,
     ) -> Vec<(NodeId, u64)> {
         let mut homes = Vec::new();
+        let mut overwritten = 0u64;
         for (idx, sub) in self.per_chunk(region) {
             let home = self.home_of(file, idx);
             let mut chunk = self.chunks.remove(&(file, idx)).unwrap_or_default();
             let before = chunk.present.covered();
             let dirty_before = chunk.dirty.covered();
+            let pf_before = chunk.prefetched_unused.covered();
             chunk.present.insert(sub.offset, sub.len);
             chunk.dirty.insert(sub.offset, sub.len);
             self.dirty_now += chunk.dirty.covered() - dirty_before;
             // Written bytes are live data, not speculative.
             chunk.prefetched_unused.remove(sub.offset, sub.len);
+            overwritten += pf_before - chunk.prefetched_unused.covered();
             chunk.last_ref = now;
             let added = chunk.present.covered() - before;
             self.charge(&mut chunk, owner, added);
             self.chunks.insert((file, idx), chunk);
             homes.push((home, sub.len));
         }
+        self.ledger_remove(overwritten, |l| &mut l.overwritten);
+        dualpar_sim::strict_assert!(self.ledger.balanced(), "ledger after put_write");
         self.stats.bytes_written += region.len;
         self.stats.dirty_hwm = self.stats.dirty_hwm.max(self.dirty_now);
         for &(home, _) in &homes {
@@ -272,6 +366,7 @@ impl GlobalCache {
                 break;
             }
             if let Some(chunk) = self.chunks.remove(&key) {
+                self.ledger_remove(chunk.prefetched_unused.covered(), |l| &mut l.evicted);
                 for (ow, charged) in chunk.charges {
                     if let Some(u) = self.usage.get_mut(&ow) {
                         *u = u.saturating_sub(charged);
@@ -281,6 +376,11 @@ impl GlobalCache {
                 used = used.saturating_sub(bytes);
             }
         }
+        dualpar_sim::strict_assert_eq!(
+            self.ledger.unused_now,
+            self.scan_unused(),
+            "ledger unused_now after enforce_node_capacity"
+        );
     }
 
     /// Probe (and consume) a read. Full hits mark the bytes as used and
@@ -288,18 +388,22 @@ impl GlobalCache {
     pub fn read(&mut self, file: FileId, region: FileRegion, now: SimTime) -> ReadResult {
         self.stats.read_probes += 1;
         let mut found = 0u64;
+        let mut consumed = 0u64;
         let mut homes = Vec::new();
         for (idx, sub) in self.per_chunk(region) {
             if let Some(chunk) = self.chunks.get_mut(&(file, idx)) {
                 let n = chunk.present.intersect_len(sub.offset, sub.len);
                 if n > 0 {
                     found += n;
+                    let pf_before = chunk.prefetched_unused.covered();
                     chunk.prefetched_unused.remove(sub.offset, sub.len);
+                    consumed += pf_before - chunk.prefetched_unused.covered();
                     chunk.last_ref = now;
                     homes.push((self.home_of(file, idx), n));
                 }
             }
         }
+        self.ledger_remove(consumed, |l| &mut l.consumed);
         let hit = found == region.len && region.len > 0;
         if hit {
             self.stats.read_hits += 1;
@@ -331,15 +435,18 @@ impl GlobalCache {
     /// Returns bytes evicted. Dirty chunks are kept.
     pub fn evict_clean_for(&mut self, files: &std::collections::HashSet<FileId>) -> u64 {
         let mut evicted = 0u64;
+        let mut pf_evicted = 0u64;
         let mut freed: Vec<(OwnerId, u64)> = Vec::new();
         self.chunks.retain(|&(f, _), chunk| {
             if !files.contains(&f) || !chunk.dirty.is_empty() {
                 return true;
             }
             evicted += chunk.present.covered();
+            pf_evicted += chunk.prefetched_unused.covered();
             freed.extend(chunk.charges.iter().copied());
             false
         });
+        self.ledger_remove(pf_evicted, |l| &mut l.evicted);
         for (ow, bytes) in freed {
             if let Some(u) = self.usage.get_mut(&ow) {
                 *u = u.saturating_sub(bytes);
@@ -412,6 +519,12 @@ impl GlobalCache {
                 chunk.prefetched_unused.clear();
             }
         }
+        self.ledger_remove(unused, |l| &mut l.misprefetched);
+        dualpar_sim::strict_assert_eq!(
+            self.ledger.unused_now,
+            self.scan_unused(),
+            "ledger unused_now after end_prefetch_epoch"
+        );
         Some((unused.min(total)) as f64 / total as f64)
     }
 
@@ -420,17 +533,20 @@ impl GlobalCache {
     pub fn evict_idle(&mut self, now: SimTime) -> u64 {
         let ttl = self.cfg.idle_ttl;
         let mut evicted = 0u64;
+        let mut pf_evicted = 0u64;
         let mut freed: Vec<(OwnerId, u64)> = Vec::new();
         self.chunks.retain(|_, chunk| {
             let idle = now.since(chunk.last_ref) >= ttl;
             if idle && chunk.dirty.is_empty() {
                 evicted += chunk.present.covered();
+                pf_evicted += chunk.prefetched_unused.covered();
                 freed.extend(chunk.charges.iter().copied());
                 false
             } else {
                 true
             }
         });
+        self.ledger_remove(pf_evicted, |l| &mut l.evicted);
         for (ow, bytes) in freed {
             if let Some(u) = self.usage.get_mut(&ow) {
                 *u = u.saturating_sub(bytes);
@@ -447,6 +563,7 @@ impl GlobalCache {
     /// always a bug in the caller's phase logic.
     pub fn invalidate(&mut self, file: FileId) {
         let mut freed: Vec<(OwnerId, u64)> = Vec::new();
+        let mut pf_evicted = 0u64;
         self.chunks.retain(|&(f, _), chunk| {
             if f != file {
                 return true;
@@ -455,9 +572,11 @@ impl GlobalCache {
                 chunk.dirty.is_empty(),
                 "invalidating {file:?} with dirty data"
             );
+            pf_evicted += chunk.prefetched_unused.covered();
             freed.extend(chunk.charges.iter().copied());
             false
         });
+        self.ledger_remove(pf_evicted, |l| &mut l.evicted);
         for (ow, bytes) in freed {
             if let Some(u) = self.usage.get_mut(&ow) {
                 *u = u.saturating_sub(bytes);
@@ -645,6 +764,36 @@ mod tests {
         // Over capacity, but both chunks are dirty: nothing may be lost.
         assert_eq!(c.dirty_bytes(), 2 * CHUNK);
         assert!(c.node_bytes(NodeId(0)) > CHUNK);
+    }
+
+    #[test]
+    fn prefetch_ledger_balances_across_all_paths() {
+        let mut c = cache(1);
+        let ow = OwnerId(1);
+        // Insert (overlap must not double-count), consume, overwrite.
+        c.put_prefetch(ow, f(1), FileRegion::new(0, 1000), SimTime::ZERO);
+        c.put_prefetch(ow, f(1), FileRegion::new(500, 1000), SimTime::ZERO);
+        c.read(f(1), FileRegion::new(0, 300), SimTime::ZERO);
+        c.put_write(ow, f(1), FileRegion::new(300, 200), SimTime::ZERO);
+        let l = c.prefetch_ledger();
+        assert_eq!(l.inserted, 1500);
+        assert_eq!(l.consumed, 300);
+        assert_eq!(l.overwritten, 200);
+        assert_eq!(l.unused_now, 1000);
+        c.assert_conservation();
+        // Epoch end writes off what's left as mis-prefetched.
+        c.end_prefetch_epoch(ow);
+        let l = c.prefetch_ledger();
+        assert_eq!(l.misprefetched, 1000);
+        assert_eq!(l.unused_now, 0);
+        c.assert_conservation();
+        // Eviction of fresh speculative data lands in `evicted`.
+        c.put_prefetch(ow, f(2), FileRegion::new(0, 256), SimTime::ZERO);
+        c.evict_idle(SimTime::from_secs(60));
+        let l = c.prefetch_ledger();
+        assert_eq!(l.evicted, 256);
+        assert!(l.balanced());
+        c.assert_conservation();
     }
 
     #[test]

@@ -148,6 +148,16 @@ impl Cluster {
     /// `retry_op` is true when the current op must re-execute on resume.
     fn dd_suspend(&mut self, at: SimTime, p: usize, retry_op: bool) {
         let prog = self.procs[p].prog;
+        // `at` may lie in the future (the suspension takes effect when the
+        // triggering op completes), so stamp the trace record with the
+        // current simulated time to keep it monotone; `at` rides as payload.
+        self.tele
+            .event(self.queue.now().as_secs_f64(), "pec", "suspend", |e| {
+                e.u64("proc", p as u64)
+                    .u64("program", prog as u64)
+                    .u64("retry", retry_op as u64)
+                    .f64("at", at.as_secs_f64())
+            });
         self.procs[p].state = PState::Suspended { retry_op };
         self.procs[p].op_start = if retry_op {
             self.procs[p].op_start // read blocked since op start
@@ -425,6 +435,9 @@ impl Cluster {
                 self.procs[p].phase_bytes = 0;
                 self.programs[prog].io_time += dur;
                 self.procs[p].state = PState::Computing;
+                self.tele.event(now.as_secs_f64(), "pec", "resume", |e| {
+                    e.u64("proc", p as u64).u64("program", prog as u64)
+                });
                 self.queue.schedule(now, Ev::ProcReady(p));
             }
         }

@@ -241,6 +241,8 @@ pub struct Cluster {
     pub(crate) mode_events: Vec<ModeEvent>,
     pub(crate) emc_improvement: Vec<(f64, f64)>,
     pub(crate) events_processed: u64,
+    /// Time of the most recently handled event (monotonicity invariant).
+    pub(crate) last_event_time: SimTime,
     pub(crate) finished_programs: usize,
     pub(crate) emc_active: bool,
     pub(crate) next_ctx: u32,
@@ -302,6 +304,7 @@ impl Cluster {
             mode_events: Vec::new(),
             emc_improvement: Vec::new(),
             events_processed: 0,
+            last_event_time: SimTime::ZERO,
             finished_programs: 0,
             emc_active: false,
             next_ctx: 1,
@@ -417,18 +420,6 @@ impl Cluster {
             coll_exchange: (0, 0),
             phase_opened: SimTime::ZERO,
         });
-        if mode == ExecMode::DataDriven {
-            // Forced-mode programs never pass through EMC, so record their
-            // standing decision in the trace (not in `RunReport.mode_events`,
-            // which is reserved for EMC-applied switches).
-            self.tele.count("emc.mode_forced", 1);
-            self.tele
-                .event(spec.start_at.as_secs_f64(), "emc", "mode", |e| {
-                    e.u64("program", idx as u64)
-                        .str("mode", ExecMode::DataDriven.label())
-                        .str("reason", "forced")
-                });
-        }
         self.queue.schedule(spec.start_at, Ev::Start(idx));
         idx
     }
@@ -563,6 +554,22 @@ impl Cluster {
     pub(crate) fn kick_disk(&mut self, now: SimTime, server: u32) {
         match self.disks[server as usize].try_start(now) {
             StartOutcome::Started { finish } => {
+                if self.tele.tracing() {
+                    if let Some(req) = self.disks[server as usize].in_flight() {
+                        let (id, lbn, sectors) = (req.id, req.lbn, req.sectors);
+                        let op = match req.kind {
+                            IoKind::Read => "read",
+                            IoKind::Write => "write",
+                        };
+                        self.tele.event(now.as_secs_f64(), "disk", "start", |e| {
+                            e.u64("server", server as u64)
+                                .u64("id", id)
+                                .u64("lbn", lbn)
+                                .u64("sectors", sectors)
+                                .str("op", op)
+                        });
+                    }
+                }
                 self.queue.schedule(finish, Ev::DiskDone(server));
             }
             StartOutcome::Idle { until } => {
@@ -576,6 +583,22 @@ impl Cluster {
 
     /// Run until every program has finished. Returns the report.
     pub fn run(&mut self) -> RunReport {
+        if self.tele.tracing() {
+            // Lead the trace with the thresholds this run decides against,
+            // so the offline auditor validates EMC transitions with the
+            // actual (possibly tuned) configuration.
+            let dp = &self.cfg.dualpar;
+            let (ratio, imp, mis) = (
+                dp.io_ratio_threshold,
+                dp.t_improvement,
+                dp.misprefetch_threshold,
+            );
+            self.tele.event(0.0, "emc", "config", |e| {
+                e.f64("io_ratio_threshold", ratio)
+                    .f64("t_improvement", imp)
+                    .f64("misprefetch_threshold", mis)
+            });
+        }
         if self.emc_active {
             let slot = self.cfg.dualpar.sample_slot;
             self.queue.schedule(SimTime::ZERO + slot, Ev::EmcTick);
@@ -615,6 +638,13 @@ impl Cluster {
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
+        dualpar_sim::strict_assert!(
+            now >= self.last_event_time,
+            "event time went backwards: {:?} < {:?}",
+            now,
+            self.last_event_time
+        );
+        self.last_event_time = now;
         self.tele.count(Self::ev_counter(&ev), 1);
         self.tele
             .gauge_max("engine.queue_depth_max", self.queue.len() as f64);
@@ -679,6 +709,9 @@ impl Cluster {
             }
             Ev::DiskDone(server) => {
                 let req = self.disks[server as usize].complete();
+                self.tele.event(now.as_secs_f64(), "disk", "done", |e| {
+                    e.u64("server", server as u64).u64("id", req.id)
+                });
                 for id in &req.merged {
                     if let Some((group, resp_bytes)) = self.req_info.remove(id) {
                         let deliver = self.server_links[server as usize]
@@ -691,6 +724,10 @@ impl Cluster {
             Ev::SubDone { group } => {
                 let done = {
                     let g = self.groups.get_mut(&group).expect("live group");
+                    dualpar_sim::strict_assert!(
+                        g.remaining > 0,
+                        "SubDone for group {group} with no outstanding sub-requests"
+                    );
                     g.remaining -= 1;
                     g.remaining == 0
                 };
@@ -710,6 +747,18 @@ impl Cluster {
         program.started = true;
         program.start = now;
         let range = program.procs.clone();
+        if program.mode == ExecMode::DataDriven {
+            // Forced-mode programs never pass through EMC, so record their
+            // standing decision in the trace (not in `RunReport.mode_events`,
+            // which is reserved for EMC-applied switches). Emitted here, at
+            // the program's Start event, so the trace stays time-ordered.
+            self.tele.count("emc.mode_forced", 1);
+            self.tele.event(now.as_secs_f64(), "emc", "mode", |e| {
+                e.u64("program", prog as u64)
+                    .str("mode", ExecMode::DataDriven.label())
+                    .str("reason", "forced")
+            });
+        }
         for p in range {
             self.procs[p].op_start = now;
             self.procs[p].last_io_end = now;
@@ -753,18 +802,24 @@ impl Cluster {
             }
         }
         if self.tele.enabled() {
-            // Per-program slot observations: the io_ratio EMC saw and the
-            // mode it decided on, one series point and one trace record per
-            // program per tick.
+            // Per-program slot observations: the io_ratio EMC saw, the
+            // improvement ratio (absent when no samples arrived; `null` in
+            // the JSONL when infinite), and the mode it decided on — one
+            // series point and one trace record per program per tick.
+            let improvement = self.emc.last_improvement();
             let samples: Vec<_> = self.emc.last_tick_samples().to_vec();
             for s in samples {
                 self.tele
                     .sample(&format!("emc.io_ratio.p{}", s.program.0), t, s.io_ratio);
                 self.tele.event(t, "emc", "tick", |e| {
-                    e.u64("program", s.program.0 as u64)
-                        .f64("io_ratio", s.io_ratio)
-                        .str("mode", s.mode.label())
-                        .u64("vetoed", s.vetoed as u64)
+                    let e = e
+                        .u64("program", s.program.0 as u64)
+                        .f64("io_ratio", s.io_ratio);
+                    let e = match improvement {
+                        Some(imp) => e.f64("improvement", imp),
+                        None => e,
+                    };
+                    e.str("mode", s.mode.label()).u64("vetoed", s.vetoed as u64)
                 });
             }
         }
@@ -809,9 +864,24 @@ impl Cluster {
     /// per-context service totals) into the telemetry registry so the final
     /// snapshot carries them. No-op when telemetry is off.
     fn finalize_telemetry(&mut self) {
+        // The conservation identity must hold whether or not telemetry is
+        // on; under strict invariants, verify it against a full rescan.
+        if cfg!(any(test, feature = "strict-invariants")) {
+            self.cache.assert_conservation();
+        }
         if !self.tele.enabled() {
             return;
         }
+        let ledger = self.cache.prefetch_ledger();
+        self.tele
+            .event(self.queue.now().as_secs_f64(), "cache", "conservation", |e| {
+                e.u64("inserted", ledger.inserted)
+                    .u64("consumed", ledger.consumed)
+                    .u64("overwritten", ledger.overwritten)
+                    .u64("evicted", ledger.evicted)
+                    .u64("misprefetched", ledger.misprefetched)
+                    .u64("unused_now", ledger.unused_now)
+            });
         let cs = self.cache.stats();
         self.tele.count("cache.read_probes", cs.read_probes);
         self.tele.count("cache.read_hits", cs.read_hits);

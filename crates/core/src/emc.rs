@@ -213,6 +213,17 @@ impl Emc {
                 }
             };
             let current = st.mode.unwrap_or(ExecMode::ComputationDriven);
+            dualpar_sim::strict_assert!(
+                !(st.disabled_by_misprefetch && want == ExecMode::DataDriven),
+                "mis-prefetch veto must forbid the data-driven mode (program {prog:?})"
+            );
+            if current != want && want == ExecMode::DataDriven {
+                dualpar_sim::strict_assert!(
+                    matches!(improvement, Some(imp) if imp > self.cfg.t_improvement)
+                        && io_ratio > self.cfg.io_ratio_threshold,
+                    "illegal data-driven switch: improvement={improvement:?} io_ratio={io_ratio} (program {prog:?})"
+                );
+            }
             st.mode = Some(want);
             self.last_samples.push(TickSample {
                 program: prog,

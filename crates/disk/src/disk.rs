@@ -80,6 +80,11 @@ impl Disk {
         self.in_flight.is_some()
     }
 
+    /// The request currently being serviced, if any.
+    pub fn in_flight(&self) -> Option<&DiskRequest> {
+        self.in_flight.as_ref()
+    }
+
     /// Requests waiting in the scheduler.
     pub fn queued(&self) -> usize {
         self.sched.queued()
@@ -108,6 +113,7 @@ impl Disk {
     /// Queue a request. The caller should then call [`Disk::try_start`] and
     /// act on the outcome (unless the disk is already busy).
     pub fn enqueue(&mut self, req: DiskRequest) {
+        dualpar_sim::strict_assert!(req.sectors > 0, "zero-length disk request id={}", req.id);
         debug_assert!(
             req.lbn + req.sectors <= self.params.capacity_sectors,
             "request beyond end of disk: lbn={} sectors={} cap={}",
@@ -153,6 +159,13 @@ impl Disk {
                     ctx: req.ctx,
                     seek_distance: dist,
                 });
+                dualpar_sim::strict_assert!(
+                    req.end() <= self.params.capacity_sectors,
+                    "post-merge request beyond end of disk: lbn={} sectors={} cap={}",
+                    req.lbn,
+                    req.sectors,
+                    self.params.capacity_sectors
+                );
                 let finish = now + service;
                 self.total_busy += service;
                 self.total_seek += dist;

@@ -63,10 +63,8 @@ pub fn plan_strided(file: FileId, regions: &[FileRegion], cfg: &SieveConfig) -> 
         if window.is_empty() {
             return;
         }
-        let cover = FileRegion::new(
-            window[0].offset,
-            window.last().unwrap().end() - window[0].offset,
-        );
+        let last_end = window.last().expect("window checked non-empty").end();
+        let cover = FileRegion::new(window[0].offset, last_end - window[0].offset);
         let useful: u64 = window.iter().map(|r| r.len).sum();
         if window.len() >= 2 && (useful as f64) >= cfg.min_useful_fraction * cover.len as f64 {
             out.push(CoalescedIo {

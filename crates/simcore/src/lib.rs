@@ -19,6 +19,33 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+/// Assert a simulation invariant in the *expanding* crate's hot path.
+///
+/// Expands to a real `assert!` when the expanding crate is compiled with its
+/// `strict-invariants` cargo feature or under `cfg(test)`; otherwise the
+/// whole check is a constant-false branch the optimiser removes, so
+/// instrumented release paths stay zero-cost. Crates using this macro must
+/// declare a `strict-invariants` feature (the `cfg!` is evaluated at the
+/// expansion site, not here).
+#[macro_export]
+macro_rules! strict_assert {
+    ($($arg:tt)*) => {
+        if cfg!(any(test, feature = "strict-invariants")) {
+            assert!($($arg)*);
+        }
+    };
+}
+
+/// Equality-asserting companion of [`strict_assert!`] — same gating rules.
+#[macro_export]
+macro_rules! strict_assert_eq {
+    ($($arg:tt)*) => {
+        if cfg!(any(test, feature = "strict-invariants")) {
+            assert_eq!($($arg)*);
+        }
+    };
+}
+
 pub use event::{EventId, EventQueue};
 pub use resource::{FifoResource, Link};
 pub use rng::DetRng;

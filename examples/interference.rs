@@ -10,11 +10,24 @@
 //! ```sh
 //! cargo run --release -p dualpar-bench --example interference
 //! ```
+//!
+//! Flags:
+//! - `--small` scales the workloads down (~32 MB instead of 2 GB) so a run
+//!   finishes in well under a second — used by `scripts/check.sh` to
+//!   produce the golden trace;
+//! - `--trace <path>` records the adaptive run's full JSONL event trace to
+//!   `<path>` (for `dualpar-audit trace`).
 
 use dualpar_cluster::prelude::*;
 use dualpar_workloads::{Hpio, MpiIoTest};
+use std::path::PathBuf;
 
-fn run(adaptive: bool) {
+struct Scenario {
+    small: bool,
+    trace: Option<PathBuf>,
+}
+
+fn run(adaptive: bool, scenario: &Scenario) {
     let strategy = if adaptive {
         IoStrategy::DualPar
     } else {
@@ -22,26 +35,55 @@ fn run(adaptive: bool) {
     };
     let stream = MpiIoTest {
         nprocs: 16,
-        file_size: 2 << 30,
+        file_size: if scenario.small { 32 << 20 } else { 2 << 30 },
         barrier_every: 8,
         ..Default::default()
     };
     let hpio = Hpio {
         nprocs: 16,
-        region_count: 1024,
+        region_count: if scenario.small { 64 } else { 1024 },
         ..Default::default()
     };
-    let report = Experiment::darwin()
+    let hpio_start = if scenario.small { 1 } else { 10 };
+    let mut experiment = Experiment::darwin()
         .file("stream", stream.file_size)
         .file("hpio", hpio.file_size())
         .program(strategy, move |files| stream.build(files[0]))
-        .program_at(strategy, SimTime::from_secs(10), move |files| {
+        .program_at(strategy, SimTime::from_secs(hpio_start), move |files| {
             let mut late = hpio.build(files[1]);
             late.name = "hpio".into();
             late
-        })
-        .run()
-        .expect("valid experiment");
+        });
+    // Trace only the adaptive run: it is the one exercising EMC/PEC/CRM.
+    let tracing = adaptive && scenario.trace.is_some();
+    if tracing {
+        experiment = experiment.telemetry_config(TelemetryConfig {
+            level: TelemetryLevel::Trace,
+            trace_capacity: 1 << 22,
+        });
+    }
+    let mut cluster = experiment.build().expect("valid experiment");
+    let report = cluster.run();
+    if tracing {
+        let path = scenario.trace.as_deref().expect("checked above");
+        let snapshot = report.telemetry.as_ref().expect("telemetry is on");
+        assert_eq!(
+            snapshot.trace_dropped, 0,
+            "trace ring overflowed; raise trace_capacity"
+        );
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("create {}: {e}", path.display())),
+        );
+        cluster
+            .export_trace(&mut file)
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!(
+            "[trace: {} events -> {}]",
+            snapshot.trace_events,
+            path.display()
+        );
+    }
     println!("--- {} ---", strategy.label());
     // Per-second throughput timeline (MB/s), decimated for display.
     print!("throughput: ");
@@ -65,6 +107,23 @@ fn run(adaptive: bool) {
 }
 
 fn main() {
-    run(false);
-    run(true);
+    let mut scenario = Scenario {
+        small: false,
+        trace: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--small" => scenario.small = true,
+            "--trace" => {
+                let path = args.next().unwrap_or_else(|| {
+                    panic!("--trace needs a path");
+                });
+                scenario.trace = Some(PathBuf::from(path));
+            }
+            other => panic!("unknown flag {other:?} (expected --small / --trace <path>)"),
+        }
+    }
+    run(false, &scenario);
+    run(true, &scenario);
 }

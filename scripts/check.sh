@@ -1,9 +1,27 @@
 #!/usr/bin/env bash
-# Repo gate: build, test, lint. Run before every commit.
+# Repo gate: build, test, lint, audit. Run before every commit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+# The tests crate turns the strict-invariants feature on for the whole
+# graph, so `cargo test` compiles every inline invariant check.
 cargo test -q --offline
 cargo clippy --offline --all-targets -- -D warnings
+
+# Source lint: no unwrap/panic in library code, no std::sync::Mutex, no
+# narrowing casts in the disk/cache hot paths (see docs/AUDIT.md).
+cargo build --release --offline -p dualpar-audit
+./target/release/dualpar-audit lint --root . --allow scripts/lint-allow.txt
+
+# Trace audit: replay the paper's interference scenario (scaled down),
+# record the adaptive run's event trace, and check every simulation
+# invariant over it — monotone time, disk exclusivity, PEC pairing, EMC
+# transition legality, cache byte conservation.
+golden="$(mktemp /tmp/dualpar-golden.XXXXXX.jsonl)"
+trap 'rm -f "$golden"' EXIT
+cargo run --release --offline -q -p dualpar-bench --example interference -- \
+    --small --trace "$golden"
+./target/release/dualpar-audit trace "$golden"
+
 echo "check.sh: all green"
