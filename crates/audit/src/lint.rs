@@ -8,7 +8,12 @@
 //! - `std::sync::Mutex` — the workspace standardizes on `parking_lot`;
 //! - narrowing `as` casts (`as u8/u16/u32/i8/i16/i32/f32`) in the disk and
 //!   cache hot paths, where silently truncating an LBN or byte count is a
-//!   correctness bug.
+//!   correctness bug;
+//! - unguarded `+`/`*` arithmetic on overflow-sensitive quantities (times,
+//!   deadlines, slices, LBNs, sector counts) in the disk schedulers, where
+//!   a wrapped deadline silently reorders the whole dispatch queue. Lines
+//!   using `checked_*`/`saturating_*`/`wrapping_*`/`abs_diff` or widening
+//!   through `u128` are considered guarded.
 //!
 //! `#[cfg(test)]` items are skipped (the pass tracks the brace extent of
 //! the annotated item), as are comments and string-literal contents.
@@ -26,7 +31,13 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Names of the lint rules, as used in findings and allow-list entries.
-pub const RULES: [&str; 4] = ["unwrap", "panic", "std-mutex", "narrowing-cast"];
+pub const RULES: [&str; 5] = [
+    "unwrap",
+    "panic",
+    "std-mutex",
+    "narrowing-cast",
+    "overflow-arith",
+];
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -184,9 +195,38 @@ const NARROW_CASTS: [&str; 7] = [
     " as u8", " as u16", " as u32", " as i8", " as i16", " as i32", " as f32",
 ];
 
+/// Identifier fragments marking a quantity whose overflow corrupts
+/// scheduling decisions rather than merely panicking.
+const OVERFLOW_NOUNS: [&str; 9] = [
+    "now", "time", "deadline", "arrival", "slice", "expire", "window", "lbn", "sector",
+];
+
+/// Substrings that mark a line as deliberately overflow-aware.
+const OVERFLOW_GUARDS: [&str; 5] = [
+    "checked_",
+    "saturating_",
+    "wrapping_",
+    "abs_diff",
+    "u128",
+];
+
+/// Does this (sanitized, trimmed) line do raw `+`/`*` arithmetic on an
+/// overflow-sensitive quantity? Matches rustfmt's spaced binary operators;
+/// unary/ref uses (`&'a`, `*ptr`) never carry surrounding spaces.
+fn overflow_prone(code: &str) -> bool {
+    let has_op = [" + ", " += ", " * ", " *= "]
+        .iter()
+        .any(|op| code.contains(op));
+    if !has_op || OVERFLOW_GUARDS.iter().any(|g| code.contains(g)) {
+        return false;
+    }
+    OVERFLOW_NOUNS.iter().any(|n| code.contains(n))
+}
+
 /// Lint one file's source text. `in_hot_path` turns on the narrowing-cast
-/// rule (disk and cache crates).
-pub fn lint_source(path: &Path, src: &str, in_hot_path: bool) -> Vec<LintFinding> {
+/// rule (disk and cache crates); `in_sched` turns on the overflow-arith
+/// rule (disk scheduler sources).
+pub fn lint_source(path: &Path, src: &str, in_hot_path: bool, in_sched: bool) -> Vec<LintFinding> {
     let mut findings = Vec::new();
     // Brace depth of a `#[cfg(test)]` item we are currently skipping.
     let mut skip_depth: Option<i32> = None;
@@ -247,6 +287,9 @@ pub fn lint_source(path: &Path, src: &str, in_hot_path: bool) -> Vec<LintFinding
                 }
             }
         }
+        if in_sched && overflow_prone(code) {
+            hit("overflow-arith");
+        }
     }
     findings
 }
@@ -280,8 +323,9 @@ pub fn lint_workspace(root: &Path, allow: &AllowList) -> io::Result<Vec<LintFind
         let text = fs::read_to_string(&path)?;
         let slashed = slash_path(&path);
         let hot = slashed.contains("/disk/src/") || slashed.contains("/cache/src/");
+        let sched = slashed.contains("/disk/src/sched/");
         findings.extend(
-            lint_source(&path, &text, hot)
+            lint_source(&path, &text, hot, sched)
                 .into_iter()
                 .filter(|f| !allow.permits(f)),
         );
@@ -294,7 +338,14 @@ mod tests {
     use super::*;
 
     fn lint_str(src: &str, hot: bool) -> Vec<&'static str> {
-        lint_source(Path::new("crates/x/src/lib.rs"), src, hot)
+        lint_source(Path::new("crates/x/src/lib.rs"), src, hot, false)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    fn lint_sched(src: &str) -> Vec<&'static str> {
+        lint_source(Path::new("crates/disk/src/sched/x.rs"), src, true, true)
             .into_iter()
             .map(|f| f.rule)
             .collect()
@@ -336,6 +387,28 @@ mod tests {
         assert!(lint_str(src, false).is_empty());
         // `as usize` is not narrowing on the supported targets.
         assert!(lint_str("fn f(x: u32) -> usize { x as usize }\n", true).is_empty());
+    }
+
+    #[test]
+    fn overflow_arith_only_fires_in_sched_sources() {
+        let src = "fn f() { let deadline = req.arrival + expire; use_(deadline); }\n";
+        assert_eq!(lint_sched(src), vec!["overflow-arith"]);
+        assert!(lint_str(src, true).is_empty());
+    }
+
+    #[test]
+    fn overflow_arith_respects_guards_and_plain_arithmetic() {
+        // Guarded forms pass.
+        assert!(lint_sched("fn f() { let d = now.saturating_add(self.cfg.slice); }\n").is_empty());
+        assert!(lint_sched("fn f() { let d = arrival.checked_add(expire); }\n").is_empty());
+        assert!(lint_sched("fn f() { let d = a.lbn.abs_diff(b.lbn); }\n").is_empty());
+        // Arithmetic on quantities with no overflow-sensitive noun passes.
+        assert!(lint_sched("fn f(i: usize) { let j = i + 1; use_(j); }\n").is_empty());
+        // Raw multiplication of sector counts is flagged.
+        assert_eq!(
+            lint_sched("fn f() { let b = req.sectors * bytes_each; use_(b); }\n"),
+            vec!["overflow-arith"]
+        );
     }
 
     #[test]

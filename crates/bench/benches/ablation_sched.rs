@@ -7,7 +7,7 @@
 //! every scheduler, so its advantage is scheduler-robust.
 
 use dualpar_bench::experiments::run_mpiio_pair;
-use dualpar_bench::{paper_cluster, print_table, save_json};
+use dualpar_bench::{jobs_from_args, paper_cluster, parallel_map, print_table, save_json};
 use dualpar_cluster::IoStrategy;
 use dualpar_disk::{IoKind, SchedulerKind};
 use serde::Serialize;
@@ -22,23 +22,28 @@ struct Row {
 
 fn main() {
     let file: u64 = 256 << 20;
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for sched in SchedulerKind::ALL {
-        let thr = |s: IoStrategy| {
-            let mut cfg = paper_cluster();
-            cfg.scheduler = sched;
-            let (r, _) = run_mpiio_pair(cfg, s, IoKind::Read, file);
-            r.aggregate_throughput_mbps()
-        };
-        let v = thr(IoStrategy::Vanilla);
-        let d = thr(IoStrategy::DualParForced);
-        rows.push(Row {
-            scheduler: sched.to_string(),
-            vanilla_mbps: v,
-            dualpar_mbps: d,
-            gain: d / v,
-        });
+        for s in [IoStrategy::Vanilla, IoStrategy::DualParForced] {
+            cells.push((sched, s));
+        }
     }
+    let thr = parallel_map(&cells, jobs_from_args(), |_, &(sched, s)| {
+        let mut cfg = paper_cluster();
+        cfg.scheduler = sched;
+        let (r, _) = run_mpiio_pair(cfg, s, IoKind::Read, file);
+        r.aggregate_throughput_mbps()
+    });
+    let rows: Vec<Row> = cells
+        .chunks(2)
+        .zip(thr.chunks(2))
+        .map(|(cell, t)| Row {
+            scheduler: cell[0].0.to_string(),
+            vanilla_mbps: t[0],
+            dualpar_mbps: t[1],
+            gain: t[1] / t[0],
+        })
+        .collect();
     print_table(
         "Ablation: scheduler × strategy (2 concurrent mpi-io-test, MB/s)",
         &["scheduler", "vanilla", "DualPar", "gain"],

@@ -10,12 +10,19 @@
 //! runs while Strategy 3's sweeps in one direction.
 
 use dualpar_bench::experiments::run_demo;
-use dualpar_bench::{paper_cluster, print_table, save_gnuplot, save_json};
+use dualpar_bench::{
+    jobs_from_args, paper_cluster, parallel_map, print_table, save_gnuplot, save_json,
+};
 use dualpar_cluster::IoStrategy;
 use dualpar_sim::SimTime;
 use serde::Serialize;
 
 const FILE_SIZE: u64 = 256 << 20;
+const STRATEGIES: [IoStrategy; 3] = [
+    IoStrategy::Vanilla,
+    IoStrategy::PrefetchOverlap,
+    IoStrategy::DualParForced,
+];
 
 #[derive(Serialize)]
 struct RatioRow {
@@ -47,23 +54,39 @@ struct Fig1 {
     strategy3_trace: Vec<TracePoint>,
 }
 
-fn elapsed(strategy: IoStrategy, ratio: f64, seg: u64) -> f64 {
-    let (r, _) = run_demo(paper_cluster(), strategy, ratio, seg, FILE_SIZE);
-    r.programs[0].elapsed().as_secs_f64()
-}
-
 fn main() {
-    // (a) I/O-ratio sweep at 4 KB segments.
+    let jobs = jobs_from_args();
+    // Both sweeps share one flat cell list so the worker pool stays full
+    // across the (a)/(b) boundary; (a) I/O-ratio sweep at 4 KB segments,
+    // (b) segment-size sweep at 90% I/O ratio.
     let ratios = [0.19, 0.31, 0.43, 0.72, 0.86, 1.0];
-    let mut ratio_rows = Vec::new();
+    let seg_kbs = [4u64, 8, 16, 32, 64, 128];
+    let mut cells = Vec::new();
     for &ratio in &ratios {
-        ratio_rows.push(RatioRow {
-            io_ratio: ratio,
-            strategy1_secs: elapsed(IoStrategy::Vanilla, ratio, 4096),
-            strategy2_secs: elapsed(IoStrategy::PrefetchOverlap, ratio, 4096),
-            strategy3_secs: elapsed(IoStrategy::DualParForced, ratio, 4096),
-        });
+        for s in STRATEGIES {
+            cells.push((ratio, 4096u64, s));
+        }
     }
+    for &seg_kb in &seg_kbs {
+        for s in STRATEGIES {
+            cells.push((0.9, seg_kb * 1024, s));
+        }
+    }
+    let times = parallel_map(&cells, jobs, |_, &(ratio, seg, s)| {
+        let (r, _) = run_demo(paper_cluster(), s, ratio, seg, FILE_SIZE);
+        r.programs[0].elapsed().as_secs_f64()
+    });
+    let (ratio_times, seg_times) = times.split_at(ratios.len() * STRATEGIES.len());
+    let ratio_rows: Vec<RatioRow> = ratios
+        .iter()
+        .zip(ratio_times.chunks(STRATEGIES.len()))
+        .map(|(&ratio, t)| RatioRow {
+            io_ratio: ratio,
+            strategy1_secs: t[0],
+            strategy2_secs: t[1],
+            strategy3_secs: t[2],
+        })
+        .collect();
     print_table(
         "Fig. 1(a): demo execution time vs I/O ratio (4 KB segments)",
         &["I/O ratio", "Strategy 1 (s)", "Strategy 2 (s)", "Strategy 3 (s)"],
@@ -80,17 +103,16 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
-    // (b) segment-size sweep at 90% I/O ratio.
-    let mut seg_rows = Vec::new();
-    for seg_kb in [4u64, 8, 16, 32, 64, 128] {
-        let seg = seg_kb * 1024;
-        seg_rows.push(SegRow {
+    let seg_rows: Vec<SegRow> = seg_kbs
+        .iter()
+        .zip(seg_times.chunks(STRATEGIES.len()))
+        .map(|(&seg_kb, t)| SegRow {
             segment_kb: seg_kb,
-            strategy1_secs: elapsed(IoStrategy::Vanilla, 0.9, seg),
-            strategy2_secs: elapsed(IoStrategy::PrefetchOverlap, 0.9, seg),
-            strategy3_secs: elapsed(IoStrategy::DualParForced, 0.9, seg),
-        });
-    }
+            strategy1_secs: t[0],
+            strategy2_secs: t[1],
+            strategy3_secs: t[2],
+        })
+        .collect();
     print_table(
         "Fig. 1(b): demo execution time vs segment size (I/O ratio 90%)",
         &["Segment", "Strategy 1 (s)", "Strategy 2 (s)", "Strategy 3 (s)"],
@@ -107,14 +129,18 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
-    // (c,d) LBN traces on server 1 over a 0.2 s window mid-run.
-    let trace_of = |strategy: IoStrategy| -> Vec<TracePoint> {
+    // (c,d) LBN traces on server 1 over a 0.2 s window mid-run, plus the
+    // §II average request size reaching the disks (paper: 12 KB under
+    // Strategy 2 vs 128 KB under Strategy 3) — one traced run per strategy
+    // yields both, fanned over the pool.
+    let traced = [IoStrategy::PrefetchOverlap, IoStrategy::DualParForced];
+    let mut traces = parallel_map(&traced, jobs, |_, &strategy| {
         let mut cfg = paper_cluster();
         cfg.trace_disks = true;
         let (report, cluster) = run_demo(cfg, strategy, 1.0, 4096, FILE_SIZE);
         let mid = SimTime::from_secs_f64(report.sim_end.as_secs_f64() / 2.0);
         let end = mid + dualpar_sim::SimDuration::from_millis(200);
-        cluster
+        let pts: Vec<TracePoint> = cluster
             .disk(1)
             .trace()
             .window(mid, end)
@@ -122,30 +148,20 @@ fn main() {
                 t_secs: rec.at.as_secs_f64(),
                 lbn: rec.lbn,
             })
-            .collect()
-    };
-    // §II also reports the average request size reaching the disks:
-    // 12 KB under Strategy 2 vs 128 KB under Strategy 3.
-    let avg_req_kb = |strategy: IoStrategy| {
-        let mut cfg = paper_cluster();
-        cfg.trace_disks = true;
-        let (_, cluster) = run_demo(cfg, strategy, 1.0, 4096, FILE_SIZE);
+            .collect();
         let (mut bytes, mut n) = (0u64, 0u64);
         for srv in 0..cluster.config().num_data_servers {
             bytes += cluster.disk(srv).bytes_serviced();
             n += cluster.disk(srv).trace().serviced();
         }
-        bytes as f64 / n.max(1) as f64 / 1024.0
-    };
+        (pts, bytes as f64 / n.max(1) as f64 / 1024.0)
+    });
+    let (s3_trace, s3_req_kb) = traces.pop().expect("strategy 3 trace");
+    let (s2_trace, s2_req_kb) = traces.pop().expect("strategy 2 trace");
     println!(
         "
-avg disk request size: Strategy 2 = {:.0} KB, Strategy 3 = {:.0} KB (paper: 12 vs 128)",
-        avg_req_kb(IoStrategy::PrefetchOverlap),
-        avg_req_kb(IoStrategy::DualParForced)
+avg disk request size: Strategy 2 = {s2_req_kb:.0} KB, Strategy 3 = {s3_req_kb:.0} KB (paper: 12 vs 128)"
     );
-
-    let s2_trace = trace_of(IoStrategy::PrefetchOverlap);
-    let s3_trace = trace_of(IoStrategy::DualParForced);
     let direction_changes = |pts: &[TracePoint]| {
         pts.windows(3)
             .filter(|w| (w[1].lbn > w[0].lbn) != (w[2].lbn > w[1].lbn))

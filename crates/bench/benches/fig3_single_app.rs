@@ -6,9 +6,15 @@
 //! Paper shape (read): mpi-io-test 115/117/263 MB/s; noncontig: DualPar
 //! +57% over collective; ior-mpi-io: collective ≈ vanilla, DualPar well
 //! ahead. Writes show the same ordering with lower absolute numbers.
+//!
+//! The 18 runs are independent, so they fan out over the shared worker
+//! pool (`--jobs N`, default = available cores); results are identical at
+//! any jobs level.
 
 use dualpar_bench::experiments::{run_ior, run_mpi_io_test, run_noncontig};
-use dualpar_bench::{apply_telemetry_args, paper_cluster, print_table, save_json};
+use dualpar_bench::{
+    apply_telemetry_args, jobs_from_args, paper_cluster, parallel_map, print_table, save_json,
+};
 use dualpar_cluster::IoStrategy;
 use dualpar_disk::IoKind;
 use serde::Serialize;
@@ -22,6 +28,13 @@ struct Row {
     dualpar_mbps: f64,
 }
 
+const BENCHMARKS: [&str; 3] = ["mpi-io-test", "noncontig", "ior-mpi-io"];
+const STRATEGIES: [IoStrategy; 3] = [
+    IoStrategy::Vanilla,
+    IoStrategy::Collective,
+    IoStrategy::DualParForced,
+];
+
 fn main() {
     // `--telemetry counters` makes every run fold counters into its report;
     // the per-run trace path is ignored here (18 runs share the flags).
@@ -30,52 +43,36 @@ fn main() {
         let _ = apply_telemetry_args(&mut cfg);
         cfg
     };
-    let strategies = [
-        IoStrategy::Vanilla,
-        IoStrategy::Collective,
-        IoStrategy::DualParForced,
-    ];
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for kind in [IoKind::Read, IoKind::Write] {
-        let kind_label = if kind == IoKind::Read { "read" } else { "write" };
-        // mpi-io-test: 1 GB, 16 KB requests, 64 procs.
-        let mut thr = [0.0; 3];
-        for (i, &s) in strategies.iter().enumerate() {
-            let (r, _) = run_mpi_io_test(cluster(), s, kind, 64, 1 << 30);
-            thr[i] = r.programs[0].throughput_mbps();
+        for bench in BENCHMARKS {
+            for s in STRATEGIES {
+                cells.push((kind, bench, s));
+            }
         }
-        rows.push(Row {
-            benchmark: "mpi-io-test".into(),
-            kind: kind_label.into(),
-            vanilla_mbps: thr[0],
-            collective_mbps: thr[1],
-            dualpar_mbps: thr[2],
-        });
-        // noncontig: 64 procs, 512 B cells, 16384 rows = 512 MB.
-        for (i, &s) in strategies.iter().enumerate() {
-            let (r, _) = run_noncontig(cluster(), s, kind, 64, 16384);
-            thr[i] = r.programs[0].throughput_mbps();
-        }
-        rows.push(Row {
-            benchmark: "noncontig".into(),
-            kind: kind_label.into(),
-            vanilla_mbps: thr[0],
-            collective_mbps: thr[1],
-            dualpar_mbps: thr[2],
-        });
-        // ior-mpi-io: 4 GB file (scaled from 16 GB), 32 KB requests.
-        for (i, &s) in strategies.iter().enumerate() {
-            let (r, _) = run_ior(cluster(), s, kind, 64, 4 << 30);
-            thr[i] = r.programs[0].throughput_mbps();
-        }
-        rows.push(Row {
-            benchmark: "ior-mpi-io".into(),
-            kind: kind_label.into(),
-            vanilla_mbps: thr[0],
-            collective_mbps: thr[1],
-            dualpar_mbps: thr[2],
-        });
     }
+    let throughputs = parallel_map(&cells, jobs_from_args(), |_, &(kind, bench, s)| {
+        let (r, _) = match bench {
+            // mpi-io-test: 1 GB, 16 KB requests, 64 procs.
+            "mpi-io-test" => run_mpi_io_test(cluster(), s, kind, 64, 1 << 30),
+            // noncontig: 64 procs, 512 B cells, 16384 rows = 512 MB.
+            "noncontig" => run_noncontig(cluster(), s, kind, 64, 16384),
+            // ior-mpi-io: 4 GB file (scaled from 16 GB), 32 KB requests.
+            _ => run_ior(cluster(), s, kind, 64, 4 << 30),
+        };
+        r.programs[0].throughput_mbps()
+    });
+    let rows: Vec<Row> = cells
+        .chunks(STRATEGIES.len())
+        .zip(throughputs.chunks(STRATEGIES.len()))
+        .map(|(cell, thr)| Row {
+            benchmark: cell[0].1.into(),
+            kind: if cell[0].0 == IoKind::Read { "read" } else { "write" }.into(),
+            vanilla_mbps: thr[0],
+            collective_mbps: thr[1],
+            dualpar_mbps: thr[2],
+        })
+        .collect();
     print_table(
         "Fig. 3: single-application system I/O throughput (MB/s)",
         &["benchmark", "kind", "vanilla", "collective", "DualPar"],

@@ -8,7 +8,7 @@
 //! ranks, while DualPar keeps scaling.
 
 use dualpar_bench::experiments::run_btio_concurrent;
-use dualpar_bench::{paper_cluster, print_table, save_json};
+use dualpar_bench::{jobs_from_args, paper_cluster, parallel_map, print_table, save_json};
 use dualpar_cluster::IoStrategy;
 use serde::Serialize;
 
@@ -20,26 +20,38 @@ struct Row {
     dualpar_mbps: f64,
 }
 
+const STRATEGIES: [IoStrategy; 3] = [
+    IoStrategy::Vanilla,
+    IoStrategy::Collective,
+    IoStrategy::DualParForced,
+];
+
 fn main() {
     // Scaled dataset: 24 MB per instance (the pattern, not the volume, is
     // what drives the effect — vanilla's per-request cost is so high that
     // larger datasets only stretch the run).
     let dataset: u64 = 24 << 20;
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for nprocs in [16usize, 64, 256] {
-        let thr = |s: IoStrategy| {
-            let (r, _) = run_btio_concurrent(paper_cluster(), s, nprocs, dataset, 3);
-            r.aggregate_throughput_mbps()
-        };
+        for s in STRATEGIES {
+            cells.push((nprocs, s));
+        }
+    }
+    let thr = parallel_map(&cells, jobs_from_args(), |_, &(nprocs, s)| {
+        let (r, _) = run_btio_concurrent(paper_cluster(), s, nprocs, dataset, 3);
+        r.aggregate_throughput_mbps()
+    });
+    let mut rows = Vec::new();
+    for (cell, thr) in cells.chunks(STRATEGIES.len()).zip(thr.chunks(STRATEGIES.len())) {
         let row = Row {
-            nprocs,
-            vanilla_mbps: thr(IoStrategy::Vanilla),
-            collective_mbps: thr(IoStrategy::Collective),
-            dualpar_mbps: thr(IoStrategy::DualParForced),
+            nprocs: cell[0].0,
+            vanilla_mbps: thr[0],
+            collective_mbps: thr[1],
+            dualpar_mbps: thr[2],
         };
         println!(
             "nprocs={}: vanilla {:.2} MB/s, collective {:.1} ({}x), dualpar {:.1} ({}x)",
-            nprocs,
+            row.nprocs,
             row.vanilla_mbps,
             row.collective_mbps,
             (row.collective_mbps / row.vanilla_mbps) as u64,

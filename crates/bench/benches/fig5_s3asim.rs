@@ -6,7 +6,7 @@
 //! S3asim's requests are much larger than BTIO's.
 
 use dualpar_bench::experiments::run_s3asim_concurrent;
-use dualpar_bench::{paper_cluster, print_table, save_json};
+use dualpar_bench::{jobs_from_args, paper_cluster, parallel_map, print_table, save_json};
 use dualpar_cluster::IoStrategy;
 use serde::Serialize;
 
@@ -18,21 +18,34 @@ struct Row {
     dualpar_io_secs: f64,
 }
 
+const STRATEGIES: [IoStrategy; 3] = [
+    IoStrategy::Vanilla,
+    IoStrategy::Collective,
+    IoStrategy::DualParForced,
+];
+
 fn main() {
     let db: u64 = 512 << 20;
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for queries in [16u64, 24, 32] {
-        let io_time = |s: IoStrategy| {
-            let (r, _) = run_s3asim_concurrent(paper_cluster(), s, queries, db, 3);
-            r.programs.iter().map(|p| p.mean_io_time_secs()).sum::<f64>()
-        };
-        rows.push(Row {
-            queries,
-            vanilla_io_secs: io_time(IoStrategy::Vanilla),
-            collective_io_secs: io_time(IoStrategy::Collective),
-            dualpar_io_secs: io_time(IoStrategy::DualParForced),
-        });
+        for s in STRATEGIES {
+            cells.push((queries, s));
+        }
     }
+    let io_times = parallel_map(&cells, jobs_from_args(), |_, &(queries, s)| {
+        let (r, _) = run_s3asim_concurrent(paper_cluster(), s, queries, db, 3);
+        r.programs.iter().map(|p| p.mean_io_time_secs()).sum::<f64>()
+    });
+    let rows: Vec<Row> = cells
+        .chunks(STRATEGIES.len())
+        .zip(io_times.chunks(STRATEGIES.len()))
+        .map(|(cell, t)| Row {
+            queries: cell[0].0,
+            vanilla_io_secs: t[0],
+            collective_io_secs: t[1],
+            dualpar_io_secs: t[2],
+        })
+        .collect();
     print_table(
         "Fig. 5: 3 concurrent S3asim instances — total I/O time (s)",
         &["queries", "vanilla", "collective", "DualPar", "dp saving"],

@@ -9,7 +9,10 @@
 //! per-slot average seek distance on data server 1.
 
 use dualpar_bench::experiments::run_varying_workload;
-use dualpar_bench::{apply_telemetry_args, export_trace_to, paper_cluster, print_table, save_gnuplot, save_json};
+use dualpar_bench::{
+    apply_telemetry_args, export_trace_to, jobs_from_args, paper_cluster, parallel_map,
+    print_table, save_gnuplot, save_json,
+};
 use dualpar_sim::{SimDuration, SimTime};
 use serde::Serialize;
 
@@ -30,7 +33,9 @@ struct Fig7 {
 fn main() {
     let join = SimTime::from_secs(10);
     let size: u64 = 2 << 30;
-    let run = |dualpar: bool| {
+    // The vanilla and adaptive runs are independent; fan them out.
+    let modes = [false, true];
+    let mut runs = parallel_map(&modes, jobs_from_args(), |_, &dualpar| {
         let mut cfg = paper_cluster();
         cfg.trace_disks = true;
         let trace = apply_telemetry_args(&mut cfg);
@@ -42,9 +47,9 @@ fn main() {
             }
         }
         (report, cluster)
-    };
-    let (vr, vc) = run(false);
-    let (dr, dc) = run(true);
+    });
+    let (dr, dc) = runs.pop().expect("adaptive run");
+    let (vr, vc) = runs.pop().expect("vanilla run");
     let timeline_mbps = |r: &dualpar_cluster::RunReport| -> Vec<f64> {
         (0..r.throughput_timeline.num_bins())
             .map(|i| r.throughput_timeline.rate_per_sec(i) / 1e6)

@@ -3,7 +3,7 @@
 //! tiny; returns diminish beyond a few hundred KB).
 
 use dualpar_bench::experiments::run_btio_cache_size;
-use dualpar_bench::{paper_cluster, print_table, save_json};
+use dualpar_bench::{jobs_from_args, paper_cluster, parallel_map, print_table, save_json};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -15,15 +15,15 @@ struct Row {
 
 fn main() {
     let dataset: u64 = 24 << 20;
-    let mut rows = Vec::new();
-    for cache_kb in [0u64, 64, 128, 256, 512, 1024] {
+    let sizes = [0u64, 64, 128, 256, 512, 1024];
+    let rows = parallel_map(&sizes, jobs_from_args(), |_, &cache_kb| {
         let (r, _) = run_btio_cache_size(paper_cluster(), cache_kb * 1024, 64, dataset);
-        rows.push(Row {
+        Row {
             cache_kb,
             throughput_mbps: r.programs[0].throughput_mbps(),
             phases: r.programs[0].phases,
-        });
-    }
+        }
+    });
     let base = rows[0].throughput_mbps;
     print_table(
         "Fig. 8: BTIO throughput vs per-process cache size",

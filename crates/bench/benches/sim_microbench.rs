@@ -1,14 +1,16 @@
 //! Criterion micro-benchmarks of the simulator's hot paths: the event
-//! queue, the CFQ scheduler, the CRM request algebra, and a complete small
-//! cluster run (events per second end to end).
+//! queue, the CFQ scheduler, the CRM request algebra, the cache store's
+//! chunk index, the byte-range algebra, and a complete small cluster run
+//! (events per second end to end).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dualpar_bench::small_cluster;
+use dualpar_cache::{CacheConfig, GlobalCache, OwnerId};
 use dualpar_cluster::{Cluster, IoStrategy, ProgramSpec};
 use dualpar_disk::{CfqConfig, CfqScheduler, Decision, DiskRequest, IoCtx, IoKind, Scheduler};
 use dualpar_mpiio::build_batch;
-use dualpar_pfs::{FileId, FileRegion};
-use dualpar_sim::{EventQueue, SimTime};
+use dualpar_pfs::{FileId, FileRegion, RangeSet};
+use dualpar_sim::{EventQueue, SimDuration, SimTime};
 use dualpar_workloads::MpiIoTest;
 use std::hint::black_box;
 
@@ -86,6 +88,68 @@ fn bench_batch_algebra(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cache_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_store");
+    let chunk = 64 * 1024u64;
+    let n = 2_048u64; // chunks touched per pass
+    let cfg = CacheConfig {
+        chunk_size: chunk,
+        num_nodes: 8,
+        idle_ttl: SimDuration::from_secs(30),
+        node_capacity: u64::MAX,
+    };
+    g.throughput(Throughput::Elements(n));
+    // Prefetch-insert then read back across a strided chunk set: dominated
+    // by lookups in the (FileId, chunk index) map that the engine hammers.
+    g.bench_function("prefetch_read_2k_chunks", |b| {
+        b.iter_batched(
+            || GlobalCache::new(cfg.clone()),
+            |mut cache| {
+                let f = FileId(1);
+                let owner = OwnerId(7);
+                for i in 0..n {
+                    let idx = (i.wrapping_mul(48271)) % (4 * n);
+                    let region = FileRegion::new(idx * chunk, chunk);
+                    cache.put_prefetch(owner, f, region, SimTime::ZERO);
+                }
+                let mut hit = 0u64;
+                for i in 0..n {
+                    let idx = (i.wrapping_mul(48271)) % (4 * n);
+                    let region = FileRegion::new(idx * chunk, chunk);
+                    hit += cache.read(f, region, SimTime::ZERO).bytes_found;
+                }
+                black_box(hit)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_rangeset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rangeset");
+    let n = 4_096u64;
+    g.throughput(Throughput::Elements(n));
+    // Interleaved insert/remove/probe on a set that keeps fragmenting and
+    // re-coalescing, the access pattern of per-chunk presence tracking.
+    g.bench_function("churn_4k_ops", |b| {
+        b.iter(|| {
+            let mut set = RangeSet::new();
+            let mut probe = 0u64;
+            for i in 0..n {
+                let start = (i.wrapping_mul(2654435761)) % (1 << 22);
+                match i % 4 {
+                    0 | 1 => set.insert(start, 4096),
+                    2 => set.remove(start, 2048),
+                    _ => probe += set.intersect_len(start, 8192),
+                }
+            }
+            black_box((set.covered(), probe))
+        })
+    });
+    g.finish();
+}
+
 fn bench_full_run(c: &mut Criterion) {
     let mut g = c.benchmark_group("cluster");
     g.sample_size(10);
@@ -110,6 +174,8 @@ criterion_group!(
     bench_event_queue,
     bench_cfq,
     bench_batch_algebra,
+    bench_cache_store,
+    bench_rangeset,
     bench_full_run
 );
 criterion_main!(benches);

@@ -8,7 +8,9 @@
 //! roughly an order of magnitude smaller average seek distance.
 
 use dualpar_bench::experiments::run_mpiio_pair;
-use dualpar_bench::{paper_cluster, print_table, save_gnuplot, save_json};
+use dualpar_bench::{
+    jobs_from_args, paper_cluster, parallel_map, print_table, save_gnuplot, save_json,
+};
 use dualpar_cluster::IoStrategy;
 use dualpar_disk::IoKind;
 use dualpar_sim::{SimDuration, SimTime};
@@ -38,21 +40,34 @@ struct Table2 {
 }
 
 const FILE: u64 = 512 << 20;
+const STRATEGIES: [IoStrategy; 3] = [
+    IoStrategy::Vanilla,
+    IoStrategy::Collective,
+    IoStrategy::DualParForced,
+];
 
 fn main() {
-    let mut throughput = Vec::new();
+    let jobs = jobs_from_args();
+    let mut cells = Vec::new();
     for kind in [IoKind::Read, IoKind::Write] {
-        let thr = |s: IoStrategy| {
-            let (r, _) = run_mpiio_pair(paper_cluster(), s, kind, FILE);
-            r.aggregate_throughput_mbps()
-        };
-        throughput.push(Throughputs {
-            kind: if kind == IoKind::Read { "read" } else { "write" }.into(),
-            vanilla_mbps: thr(IoStrategy::Vanilla),
-            collective_mbps: thr(IoStrategy::Collective),
-            dualpar_mbps: thr(IoStrategy::DualParForced),
-        });
+        for s in STRATEGIES {
+            cells.push((kind, s));
+        }
     }
+    let thr = parallel_map(&cells, jobs, |_, &(kind, s)| {
+        let (r, _) = run_mpiio_pair(paper_cluster(), s, kind, FILE);
+        r.aggregate_throughput_mbps()
+    });
+    let throughput: Vec<Throughputs> = cells
+        .chunks(STRATEGIES.len())
+        .zip(thr.chunks(STRATEGIES.len()))
+        .map(|(cell, t)| Throughputs {
+            kind: if cell[0].0 == IoKind::Read { "read" } else { "write" }.into(),
+            vanilla_mbps: t[0],
+            collective_mbps: t[1],
+            dualpar_mbps: t[2],
+        })
+        .collect();
     print_table(
         "Table II: aggregate throughput, 2 concurrent mpi-io-test (MB/s)",
         &["kind", "vanilla", "collective", "DualPar"],
@@ -69,8 +84,10 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
-    // Fig. 6: one-second LBN trace window on server 1, read runs.
-    let trace_of = |s: IoStrategy| {
+    // Fig. 6: one-second LBN trace window on server 1, read runs. The two
+    // traced runs are independent, so they share the worker pool too.
+    let traced = [IoStrategy::Vanilla, IoStrategy::DualParForced];
+    let mut traces = parallel_map(&traced, jobs, |_, &s| {
         let mut cfg = paper_cluster();
         cfg.trace_disks = true;
         let (report, cluster) = run_mpiio_pair(cfg, s, IoKind::Read, FILE);
@@ -86,9 +103,9 @@ fn main() {
             .collect();
         let avg_seek = cluster.disk(1).trace().avg_seek_distance();
         (pts, avg_seek)
-    };
-    let (vanilla_trace, v_seek) = trace_of(IoStrategy::Vanilla);
-    let (dualpar_trace, d_seek) = trace_of(IoStrategy::DualParForced);
+    });
+    let (dualpar_trace, d_seek) = traces.pop().expect("dualpar trace");
+    let (vanilla_trace, v_seek) = traces.pop().expect("vanilla trace");
     println!(
         "\nFig. 6: avg seek distance — vanilla {v_seek:.0} sectors, DualPar {d_seek:.0} sectors ({:.1}x reduction)",
         v_seek / d_seek.max(1.0)

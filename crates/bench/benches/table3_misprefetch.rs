@@ -4,9 +4,9 @@
 //! most 7.2% (at a 4 MB quota) because the high mis-prefetch ratio turns
 //! the data-driven mode off after one phase — a one-time overhead.
 
-use dualpar_bench::experiments::run_dependent_predictable;
 use dualpar_bench::experiments::run_dependent;
-use dualpar_bench::{paper_cluster, print_table, save_json};
+use dualpar_bench::experiments::run_dependent_predictable;
+use dualpar_bench::{jobs_from_args, paper_cluster, parallel_map, print_table, save_json};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,21 +21,22 @@ struct Row {
 
 fn main() {
     let total: u64 = 512 << 20;
+    let jobs = jobs_from_args();
     let (base_r, _) = run_dependent(paper_cluster(), false, 0, total);
     let base = base_r.programs[0].elapsed().as_secs_f64();
-    let mut rows = Vec::new();
-    for cache_kb in [512u64, 1024, 2048, 4096] {
+    let sizes = [512u64, 1024, 2048, 4096];
+    let rows = parallel_map(&sizes, jobs, |_, &cache_kb| {
         let (r, _) = run_dependent(paper_cluster(), true, cache_kb * 1024, total);
         let secs = r.programs[0].elapsed().as_secs_f64();
-        rows.push(Row {
+        Row {
             cache_kb,
             no_dualpar_secs: base,
             dualpar_secs: secs,
             overhead_pct: (secs / base - 1.0) * 100.0,
             misprefetch_ratio: r.programs[0].avg_misprefetch,
             phases: r.programs[0].phases,
-        });
-    }
+        }
+    });
     print_table(
         "Table III: fully data-dependent reads — execution time",
         &["cache (KB)", "no DualPar (s)", "DualPar (s)", "overhead", "mis-ratio", "phases"],
@@ -66,16 +67,16 @@ fn main() {
         mis_ratio: f64,
         phases: u64,
     }
-    let mut pred_rows = Vec::new();
-    for &p in &[1.0, 0.9, 0.8, 0.5, 0.0] {
+    let preds = [1.0, 0.9, 0.8, 0.5, 0.0];
+    let pred_rows = parallel_map(&preds, jobs, |_, &p| {
         let (r, _) = run_dependent_predictable(paper_cluster(), p, total);
-        pred_rows.push(PredRow {
+        PredRow {
             predictability: p,
             dualpar_secs: r.programs[0].elapsed().as_secs_f64(),
             mis_ratio: r.programs[0].avg_misprefetch,
             phases: r.programs[0].phases,
-        });
-    }
+        }
+    });
     print_table(
         "Extension: prediction accuracy vs the 20% mis-prefetch veto",
         &["predictability", "DualPar (s)", "mis-ratio", "phases"],

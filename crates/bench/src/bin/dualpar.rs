@@ -1,4 +1,6 @@
-//! `dualpar` — run a simulated experiment from a JSON specification.
+//! `dualpar` — run simulated experiments from the command line.
+//!
+//! Single experiment from a JSON specification:
 //!
 //! ```sh
 //! cargo run --release -p dualpar-bench --bin dualpar -- experiment.json
@@ -7,6 +9,17 @@
 //!     --telemetry counters            # fold counters into the report JSON
 //! cargo run --release -p dualpar-bench --bin dualpar -- experiment.json \
 //!     --trace events.jsonl            # full event trace as JSON Lines
+//! ```
+//!
+//! Parallel figure-set suite (independent runs fanned over a worker pool;
+//! per-run reports are byte-identical at any `--jobs` level):
+//!
+//! ```sh
+//! cargo run --release -p dualpar-bench --bin dualpar -- suite --jobs 4
+//! cargo run --release -p dualpar-bench --bin dualpar -- suite \
+//!     --scale paper --out bench_results/BENCH_suite.json
+//! cargo run --release -p dualpar-bench --bin dualpar -- suite \
+//!     --verify-serial                 # re-run serially, compare reports
 //! ```
 //!
 //! A specification names the cluster configuration (all fields optional —
@@ -23,112 +36,15 @@
 //! }
 //! ```
 
-use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec, TelemetryLevel};
-use dualpar_sim::SimTime;
-use dualpar_workloads::{Btio, Demo, DependentReader, Hpio, IorMpiIo, MpiIoTest, Noncontig, S3asim, TraceReplay};
-use serde::{Deserialize, Serialize};
-
-/// A workload choice, tagged by benchmark name.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
-pub enum WorkloadSpec {
-    MpiIoTest(MpiIoTest),
-    Hpio(Hpio),
-    IorMpiIo(IorMpiIo),
-    Noncontig(Noncontig),
-    S3asim(S3asim),
-    Btio(Btio),
-    Demo(Demo),
-    DependentReader(DependentReader),
-    TraceReplay(TraceReplay),
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ProgramEntry {
-    pub workload: WorkloadSpec,
-    pub strategy: IoStrategy,
-    #[serde(default)]
-    pub start_secs: f64,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ExperimentSpec {
-    #[serde(default)]
-    pub cluster: ClusterConfig,
-    pub programs: Vec<ProgramEntry>,
-}
-
-impl Default for ExperimentSpec {
-    fn default() -> Self {
-        ExperimentSpec {
-            cluster: ClusterConfig::default(),
-            programs: vec![ProgramEntry {
-                workload: WorkloadSpec::MpiIoTest(MpiIoTest {
-                    file_size: 256 << 20,
-                    ..Default::default()
-                }),
-                strategy: IoStrategy::DualPar,
-                start_secs: 0.0,
-            }],
-        }
-    }
-}
-
-fn add_workload(cluster: &mut Cluster, idx: usize, entry: &ProgramEntry) {
-    let script = match &entry.workload {
-        WorkloadSpec::MpiIoTest(w) => {
-            let f = cluster.create_file(&format!("mpiio-{idx}"), w.file_size);
-            w.build(f)
-        }
-        WorkloadSpec::Hpio(w) => {
-            let f = cluster.create_file(&format!("hpio-{idx}"), w.file_size());
-            w.build(f)
-        }
-        WorkloadSpec::IorMpiIo(w) => {
-            let f = cluster.create_file(&format!("ior-{idx}"), w.file_size);
-            w.build(f)
-        }
-        WorkloadSpec::Noncontig(w) => {
-            let f = cluster.create_file(&format!("noncontig-{idx}"), w.file_size());
-            w.build(f)
-        }
-        WorkloadSpec::S3asim(w) => {
-            let db = cluster.create_file(&format!("s3db-{idx}"), w.db_size);
-            let res = cluster.create_file(&format!("s3res-{idx}"), w.result_size);
-            w.build(db, res)
-        }
-        WorkloadSpec::Btio(w) => {
-            let f = cluster.create_file(&format!("btio-{idx}"), w.file_size());
-            w.build(f)
-        }
-        WorkloadSpec::Demo(w) => {
-            let f = cluster.create_file(&format!("demo-{idx}"), w.file_size);
-            w.build(f)
-        }
-        WorkloadSpec::DependentReader(w) => {
-            let f = cluster.create_file(&format!("dep-{idx}"), w.file_size());
-            w.build(f)
-        }
-        WorkloadSpec::TraceReplay(w) => {
-            let files: Vec<_> = w
-                .required_file_sizes()
-                .iter()
-                .enumerate()
-                .map(|(i, &sz)| cluster.create_file(&format!("trace-{idx}-{i}"), sz.max(1)))
-                .collect();
-            w.build(&files)
-        }
-    };
-    cluster.add_program(
-        ProgramSpec::new(script, entry.strategy)
-            .starting_at(SimTime::from_secs_f64(entry.start_secs)),
-    );
-}
+use dualpar_bench::suite::{builtin_suite, run_entry, run_parallel, summarize, Scale};
+use dualpar_bench::{build_cluster, ExperimentSpec};
+use dualpar_cluster::TelemetryLevel;
+use std::time::Instant;
 
 /// Pull `--flag value` out of the argument list, if present.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
-    if i + 1 >= args.len() {
+    if i + 1 >= args.len() || args[i + 1].starts_with("--") {
         eprintln!("{flag} requires a value");
         std::process::exit(2);
     }
@@ -137,9 +53,32 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
+/// Pull a bare `--flag` out of the argument list. Returns its presence.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn reject_unknown_flags(args: &[String], expected: &str) {
+    if let Some(unknown) = args.iter().skip(1).find(|a| a.starts_with("--")) {
+        eprintln!("unknown flag {unknown} (expected {expected})");
+        std::process::exit(2);
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--example") {
+    if args.get(1).map(String::as_str) == Some("suite") {
+        args.remove(1);
+        run_suite_command(args);
+        return;
+    }
+    if take_switch(&mut args, "--example") {
         println!(
             "{}",
             serde_json::to_string_pretty(&ExperimentSpec::default()).expect("serialise")
@@ -156,14 +95,12 @@ fn main() {
             std::process::exit(2);
         }
     });
-    if let Some(unknown) = args.iter().skip(1).find(|a| a.starts_with("--")) {
-        eprintln!("unknown flag {unknown} (expected --telemetry, --trace or --example)");
-        std::process::exit(2);
-    }
+    reject_unknown_flags(&args, "--telemetry, --trace or --example");
     let Some(path) = args.get(1) else {
         eprintln!(
             "usage: dualpar <spec.json> [--telemetry off|counters|trace] [--trace <out.jsonl>]"
         );
+        eprintln!("       dualpar suite [--jobs N] [--scale small|paper] [--out <path>] [--verify-serial]");
         eprintln!("       (or --example to print a spec template)");
         std::process::exit(2);
     };
@@ -187,10 +124,7 @@ fn main() {
     if trace_path.is_some() && spec.cluster.telemetry.level != TelemetryLevel::Trace {
         spec.cluster.telemetry.level = TelemetryLevel::Trace;
     }
-    let mut cluster = Cluster::new(spec.cluster.clone());
-    for (i, entry) in spec.programs.iter().enumerate() {
-        add_workload(&mut cluster, i, entry);
-    }
+    let mut cluster = build_cluster(&spec);
     let report = cluster.run();
     if let Some(out) = &trace_path {
         let mut w = std::io::BufWriter::new(std::fs::File::create(out).unwrap_or_else(|e| {
@@ -228,4 +162,104 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&report).expect("serialise report")
     );
+}
+
+/// `dualpar suite`: run the built-in figure-set suite over a worker pool
+/// and write the machine-readable summary to `BENCH_suite.json`.
+fn run_suite_command(mut args: Vec<String>) {
+    let jobs = match take_flag(&mut args, "--jobs") {
+        None => dualpar_bench::default_jobs(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs requires a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let scale = match take_flag(&mut args, "--scale").as_deref() {
+        None | Some("small") => Scale::Small,
+        Some("paper") => Scale::Paper,
+        Some(other) => {
+            eprintln!("unknown scale {other:?} (expected small|paper)");
+            std::process::exit(2);
+        }
+    };
+    let out_path = take_flag(&mut args, "--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| dualpar_bench::results_dir().join("BENCH_suite.json"));
+    let verify_serial = take_switch(&mut args, "--verify-serial");
+    reject_unknown_flags(&args, "--jobs, --scale, --out or --verify-serial");
+    if args.len() > 1 {
+        eprintln!("unexpected argument {:?}", args[1]);
+        std::process::exit(2);
+    }
+
+    let entries = builtin_suite(scale);
+    eprintln!("running {} experiments with --jobs {jobs}", entries.len());
+    let t0 = Instant::now();
+    let runs = run_parallel(&entries, jobs);
+    let total_wall = t0.elapsed().as_secs_f64();
+
+    let mut serial_walls: Option<Vec<f64>> = None;
+    if verify_serial {
+        // Serial twin: every report must be byte-identical to the pooled
+        // run's, or the suite is rightly declared non-deterministic.
+        let mut mismatches = 0;
+        let mut walls = Vec::with_capacity(entries.len());
+        for (entry, pooled) in entries.iter().zip(&runs) {
+            let serial = run_entry(entry);
+            if serial.report_json != pooled.report_json {
+                eprintln!("DETERMINISM VIOLATION: {} differs from its serial twin", entry.name);
+                mismatches += 1;
+            }
+            walls.push(serial.wall_secs);
+        }
+        if mismatches > 0 {
+            eprintln!("{mismatches} run(s) diverged between --jobs {jobs} and serial");
+            std::process::exit(1);
+        }
+        eprintln!("verify-serial: all {} reports byte-identical", runs.len());
+        serial_walls = Some(walls);
+    }
+
+    let mut summary = summarize(&runs, jobs, total_wall);
+    if let Some(walls) = serial_walls {
+        // Replace the oversubscription-biased in-pool walls with the true
+        // serial measurements the verification pass just produced.
+        summary.serial_wall_secs_sum = walls.iter().sum();
+        summary.speedup_estimate = if total_wall > 0.0 {
+            summary.serial_wall_secs_sum / total_wall
+        } else {
+            0.0
+        };
+    }
+    eprintln!(
+        "{:<20} {:>9} {:>12} {:>12} {:>10}",
+        "run", "wall s", "sim events", "events/s", "MB/s"
+    );
+    for r in &summary.runs {
+        eprintln!(
+            "{:<20} {:>9.3} {:>12} {:>12.0} {:>10.1}",
+            r.name, r.wall_secs, r.sim_events, r.sim_events_per_sec, r.aggregate_mbps
+        );
+    }
+    eprintln!(
+        "suite wall {:.2}s, serial-sum {:.2}s, speedup {:.2}x (jobs={})",
+        summary.total_wall_secs, summary.serial_wall_secs_sum, summary.speedup_estimate, jobs
+    );
+    let json = serde_json::to_string_pretty(&summary).expect("serialise summary");
+    if let Some(dir) = out_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+        }
+    }
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        std::process::exit(1);
+    });
+    eprintln!("[saved {}]", out_path.display());
 }

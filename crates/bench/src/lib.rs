@@ -14,6 +14,36 @@ use serde::Serialize;
 use std::path::PathBuf;
 
 pub mod experiments;
+pub mod spec;
+pub mod suite;
+
+pub use spec::{add_workload, build_cluster, ExperimentSpec, ProgramEntry, WorkloadSpec};
+pub use suite::{
+    builtin_suite, parallel_map, run_entry, run_parallel, summarize, Scale, SuiteEntry, SuiteRun,
+    SuiteSummary,
+};
+
+/// `--jobs N` from the process arguments, defaulting to the machine's
+/// available parallelism. Exits with status 2 on a malformed value — user
+/// input, so no panics.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--jobs") {
+        None => default_jobs(),
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --jobs requires a positive integer");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// The paper's platform scaled for simulation: nine data servers (as on
 /// Darwin), four compute nodes, 64 KB striping, CFQ, GigE.
@@ -45,31 +75,69 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
-/// Parse `--telemetry <off|counters|trace>` and `--trace <path>` from the
-/// process arguments (reachable via `cargo bench --bench <name> -- --trace
-/// out.jsonl`), apply the level to `cfg`, and return the trace output path
-/// if one was requested. `--trace` implies trace-level telemetry.
-pub fn apply_telemetry_args(cfg: &mut ClusterConfig) -> Option<PathBuf> {
+/// Fallible core of [`apply_telemetry_args`], parameterised over the
+/// argument list so tests can exercise the error paths. A flag given
+/// without a value, a repeated flag, or an unknown telemetry level is an
+/// `Err` describing the problem — never a panic, since these are user
+/// input, not program bugs. Arguments other than `--telemetry`/`--trace`
+/// are ignored (cargo passes harness flags like `--bench` through to
+/// `harness = false` targets).
+pub fn try_apply_telemetry_args(
+    cfg: &mut ClusterConfig,
+    args: &[String],
+) -> Result<Option<PathBuf>, String> {
     use dualpar_cluster::TelemetryLevel;
-    let args: Vec<String> = std::env::args().collect();
-    let value_of = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1).cloned())
+    let value_of = |flag: &str| -> Result<Option<&String>, String> {
+        let mut hits = args.iter().enumerate().filter(|(_, a)| *a == flag);
+        match hits.next() {
+            None => Ok(None),
+            Some((i, _)) => {
+                if hits.next().is_some() {
+                    return Err(format!("{flag} given more than once"));
+                }
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => Ok(Some(v)),
+                    _ => Err(format!("{flag} requires a value")),
+                }
+            }
+        }
     };
-    if let Some(level) = value_of("--telemetry") {
+    if let Some(level) = value_of("--telemetry")? {
         cfg.telemetry.level = match level.as_str() {
             "off" => TelemetryLevel::Off,
             "counters" => TelemetryLevel::Counters,
             "trace" => TelemetryLevel::Trace,
-            other => panic!("unknown telemetry level {other:?} (expected off|counters|trace)"),
+            other => {
+                return Err(format!(
+                    "unknown telemetry level {other:?} (expected off|counters|trace)"
+                ))
+            }
         };
     }
-    let path = value_of("--trace").map(PathBuf::from);
-    if path.is_some() && cfg.telemetry.level != dualpar_cluster::TelemetryLevel::Trace {
-        cfg.telemetry.level = dualpar_cluster::TelemetryLevel::Trace;
+    let path = value_of("--trace")?.map(PathBuf::from);
+    if path.is_some() && cfg.telemetry.level != TelemetryLevel::Trace {
+        cfg.telemetry.level = TelemetryLevel::Trace;
     }
-    path
+    Ok(path)
+}
+
+/// Parse `--telemetry <off|counters|trace>` and `--trace <path>` from the
+/// process arguments (reachable via `cargo bench --bench <name> -- --trace
+/// out.jsonl`), apply the level to `cfg`, and return the trace output path
+/// if one was requested. `--trace` implies trace-level telemetry.
+///
+/// On malformed input this prints the problem to stderr and exits with
+/// status 2, so a typo'd bench invocation fails loudly instead of silently
+/// running with default telemetry.
+pub fn apply_telemetry_args(cfg: &mut ClusterConfig) -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    match try_apply_telemetry_args(cfg, &args) {
+        Ok(path) => path,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Write a finished run's JSONL event trace where `--trace` asked for it.
@@ -168,6 +236,48 @@ mod tests {
         let d = results_dir();
         assert!(d.ends_with("bench_results"));
         assert!(d.is_dir());
+    }
+
+    #[test]
+    fn telemetry_args_parse_and_reject() {
+        use dualpar_cluster::TelemetryLevel;
+        let argv = |s: &[&str]| -> Vec<String> { s.iter().map(|a| a.to_string()).collect() };
+
+        let mut cfg = small_cluster();
+        let out = try_apply_telemetry_args(&mut cfg, &argv(&["bin", "--telemetry", "counters"]));
+        assert_eq!(out, Ok(None));
+        assert_eq!(cfg.telemetry.level, TelemetryLevel::Counters);
+
+        // --trace implies trace-level telemetry and returns the path.
+        let mut cfg = small_cluster();
+        let out = try_apply_telemetry_args(&mut cfg, &argv(&["bin", "--trace", "t.jsonl"]));
+        assert_eq!(out, Ok(Some(PathBuf::from("t.jsonl"))));
+        assert_eq!(cfg.telemetry.level, TelemetryLevel::Trace);
+
+        // Unrelated flags (cargo's --bench) pass through untouched.
+        let mut cfg = small_cluster();
+        assert_eq!(
+            try_apply_telemetry_args(&mut cfg, &argv(&["bin", "--bench"])),
+            Ok(None)
+        );
+
+        // Error paths: missing value, value swallowed by next flag,
+        // unknown level, duplicate flag.
+        let mut cfg = small_cluster();
+        assert!(try_apply_telemetry_args(&mut cfg, &argv(&["bin", "--telemetry"])).is_err());
+        assert!(try_apply_telemetry_args(
+            &mut cfg,
+            &argv(&["bin", "--trace", "--telemetry", "off"])
+        )
+        .is_err());
+        assert!(
+            try_apply_telemetry_args(&mut cfg, &argv(&["bin", "--telemetry", "loud"])).is_err()
+        );
+        assert!(try_apply_telemetry_args(
+            &mut cfg,
+            &argv(&["bin", "--telemetry", "off", "--telemetry", "trace"])
+        )
+        .is_err());
     }
 
     #[test]

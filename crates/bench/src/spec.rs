@@ -1,0 +1,154 @@
+//! Experiment specifications: a cluster configuration plus a list of
+//! programs (workload + I/O strategy + start time), serializable to the
+//! JSON the `dualpar` CLI consumes and buildable into a ready-to-run
+//! [`Cluster`]. Shared by the CLI, the parallel suite runner, and the
+//! determinism tests.
+
+use dualpar_cluster::{Cluster, ClusterConfig, IoStrategy, ProgramSpec};
+use dualpar_sim::SimTime;
+use dualpar_workloads::{
+    Btio, Demo, DependentReader, Hpio, IorMpiIo, MpiIoTest, Noncontig, S3asim, TraceReplay,
+};
+use serde::{Deserialize, Serialize};
+
+/// A workload choice, tagged by benchmark name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WorkloadSpec {
+    MpiIoTest(MpiIoTest),
+    Hpio(Hpio),
+    IorMpiIo(IorMpiIo),
+    Noncontig(Noncontig),
+    S3asim(S3asim),
+    Btio(Btio),
+    Demo(Demo),
+    DependentReader(DependentReader),
+    TraceReplay(TraceReplay),
+}
+
+/// One program of an experiment: what to run, how, and when.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgramEntry {
+    pub workload: WorkloadSpec,
+    pub strategy: IoStrategy,
+    #[serde(default)]
+    pub start_secs: f64,
+}
+
+/// A complete experiment: the cluster and the programs it hosts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    #[serde(default)]
+    pub cluster: ClusterConfig,
+    pub programs: Vec<ProgramEntry>,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            cluster: ClusterConfig::default(),
+            programs: vec![ProgramEntry {
+                workload: WorkloadSpec::MpiIoTest(MpiIoTest {
+                    file_size: 256 << 20,
+                    ..Default::default()
+                }),
+                strategy: IoStrategy::DualPar,
+                start_secs: 0.0,
+            }],
+        }
+    }
+}
+
+/// Create the workload's files on `cluster` and submit the program.
+pub fn add_workload(cluster: &mut Cluster, idx: usize, entry: &ProgramEntry) {
+    let script = match &entry.workload {
+        WorkloadSpec::MpiIoTest(w) => {
+            let f = cluster.create_file(&format!("mpiio-{idx}"), w.file_size);
+            w.build(f)
+        }
+        WorkloadSpec::Hpio(w) => {
+            let f = cluster.create_file(&format!("hpio-{idx}"), w.file_size());
+            w.build(f)
+        }
+        WorkloadSpec::IorMpiIo(w) => {
+            let f = cluster.create_file(&format!("ior-{idx}"), w.file_size);
+            w.build(f)
+        }
+        WorkloadSpec::Noncontig(w) => {
+            let f = cluster.create_file(&format!("noncontig-{idx}"), w.file_size());
+            w.build(f)
+        }
+        WorkloadSpec::S3asim(w) => {
+            let db = cluster.create_file(&format!("s3db-{idx}"), w.db_size);
+            let res = cluster.create_file(&format!("s3res-{idx}"), w.result_size);
+            w.build(db, res)
+        }
+        WorkloadSpec::Btio(w) => {
+            let f = cluster.create_file(&format!("btio-{idx}"), w.file_size());
+            w.build(f)
+        }
+        WorkloadSpec::Demo(w) => {
+            let f = cluster.create_file(&format!("demo-{idx}"), w.file_size);
+            w.build(f)
+        }
+        WorkloadSpec::DependentReader(w) => {
+            let f = cluster.create_file(&format!("dep-{idx}"), w.file_size());
+            w.build(f)
+        }
+        WorkloadSpec::TraceReplay(w) => {
+            let files: Vec<_> = w
+                .required_file_sizes()
+                .iter()
+                .enumerate()
+                .map(|(i, &sz)| cluster.create_file(&format!("trace-{idx}-{i}"), sz.max(1)))
+                .collect();
+            w.build(&files)
+        }
+    };
+    cluster.add_program(
+        ProgramSpec::new(script, entry.strategy)
+            .starting_at(SimTime::from_secs_f64(entry.start_secs)),
+    );
+}
+
+/// Build a ready-to-run cluster from a spec. Purely a function of the
+/// spec: building the same spec twice yields clusters that simulate
+/// identically (the determinism tests rely on this).
+pub fn build_cluster(spec: &ExperimentSpec) -> Cluster {
+    let mut cluster = Cluster::new(spec.cluster.clone());
+    for (i, entry) in spec.programs.iter().enumerate() {
+        add_workload(&mut cluster, i, entry);
+    }
+    cluster
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_round_trips_through_json() {
+        let spec = ExperimentSpec::default();
+        let json = serde_json::to_string(&spec).expect("serialise spec");
+        let back: ExperimentSpec = serde_json::from_str(&json).expect("parse spec");
+        assert_eq!(back.programs.len(), spec.programs.len());
+        let json2 = serde_json::to_string(&back).expect("serialise again");
+        assert_eq!(json, json2);
+    }
+
+    #[test]
+    fn build_cluster_submits_every_program() {
+        let mut spec = ExperimentSpec {
+            cluster: crate::small_cluster(),
+            ..Default::default()
+        };
+        spec.programs.push(ProgramEntry {
+            workload: WorkloadSpec::Demo(Demo::default()),
+            strategy: IoStrategy::Vanilla,
+            start_secs: 1.0,
+        });
+        let mut cluster = build_cluster(&spec);
+        let report = cluster.run();
+        assert_eq!(report.programs.len(), 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! Parallel experiment-suite runner.
+//!
+//! Independent simulations are pure functions of their [`ExperimentSpec`]
+//! (each run builds its own [`Cluster`](dualpar_cluster::Cluster), event
+//! queue, RNG streams, and telemetry), so a suite of them fans out over a
+//! scoped worker pool with no shared mutable state. Determinism is a hard
+//! guarantee: every run produces a byte-identical serialized report and
+//! event trace regardless of `jobs` — only the wall-clock numbers vary.
+//!
+//! The pool is built from std primitives alone: workers claim entry
+//! indices from an [`AtomicUsize`] and deliver `(index, result)` over an
+//! [`mpsc`] channel, so no locks are held anywhere (the workspace lint
+//! bans `std::sync::Mutex`, and the claim/deliver pattern does not want
+//! one anyway). Results are re-ordered by input index before returning.
+
+use crate::spec::{build_cluster, ExperimentSpec, ProgramEntry, WorkloadSpec};
+use dualpar_cluster::prelude::IoKind;
+use dualpar_cluster::{IoStrategy, RunReport, TelemetryLevel};
+use dualpar_sim::FxHasher;
+use dualpar_workloads::{Btio, Hpio, IorMpiIo, MpiIoTest, Noncontig, S3asim};
+use serde::Serialize;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// One named run of a suite.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    pub name: String,
+    pub spec: ExperimentSpec,
+}
+
+impl SuiteEntry {
+    pub fn new(name: impl Into<String>, spec: ExperimentSpec) -> Self {
+        SuiteEntry {
+            name: name.into(),
+            spec,
+        }
+    }
+}
+
+/// A finished run: the structured report plus its canonical serialized
+/// form (what determinism is judged on) and the measured wall time (the
+/// one field that legitimately varies between runs).
+#[derive(Debug)]
+pub struct SuiteRun {
+    pub name: String,
+    pub report: RunReport,
+    /// `serde_json` rendering of `report`; byte-identical across repeat
+    /// runs of the same spec at any `jobs` level.
+    pub report_json: String,
+    /// The JSONL event trace, captured in memory when the spec asked for
+    /// trace-level telemetry; byte-identical across repeat runs too.
+    pub trace_jsonl: Option<String>,
+    pub wall_secs: f64,
+}
+
+/// Execute one entry start-to-finish on the calling thread.
+pub fn run_entry(entry: &SuiteEntry) -> SuiteRun {
+    let t0 = Instant::now();
+    let mut cluster = build_cluster(&entry.spec);
+    let report = cluster.run();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let trace_jsonl = (entry.spec.cluster.telemetry.level == TelemetryLevel::Trace).then(|| {
+        let mut buf = Vec::new();
+        cluster
+            .export_trace(&mut buf)
+            .expect("in-memory trace export cannot fail");
+        String::from_utf8(buf).expect("trace is UTF-8 JSONL")
+    });
+    let report_json = serde_json::to_string_pretty(&report).expect("serialise report");
+    SuiteRun {
+        name: entry.name.clone(),
+        report,
+        report_json,
+        trace_jsonl,
+        wall_secs,
+    }
+}
+
+/// Order-preserving parallel map over `items` with up to `jobs` worker
+/// threads. `f(index, item)` runs exactly once per item; results come
+/// back in input order. `jobs <= 1` degenerates to a plain serial map on
+/// the calling thread (no pool, identical results by construction).
+///
+/// A panicking worker propagates its panic out of this call after the
+/// scope joins — no result is silently dropped.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                // The receiver outlives the scope, so send only fails if
+                // the parent already panicked; stopping is then correct.
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in &rx {
+            slots[i] = Some(r);
+        }
+    });
+    // Reached only if every worker exited cleanly (a worker panic
+    // re-raises when the scope joins, before this line).
+    slots
+        .into_iter()
+        .map(|s| s.expect("every claimed index delivered a result"))
+        .collect()
+}
+
+/// Run a whole suite, `jobs` entries at a time. Entry `i` of the result
+/// corresponds to entry `i` of the input, whatever order they finished in.
+pub fn run_parallel(entries: &[SuiteEntry], jobs: usize) -> Vec<SuiteRun> {
+    parallel_map(entries, jobs, |_, e| run_entry(e))
+}
+
+/// Short stable fingerprint of a serialized report, for summaries and
+/// serial-twin verification without embedding whole reports.
+pub fn report_fingerprint(report_json: &str) -> String {
+    let mut h = FxHasher::default();
+    h.write(report_json.as_bytes());
+    format!("{:016x}", h.finish())
+}
+
+/// Machine-readable per-run line of `BENCH_suite.json`.
+#[derive(Debug, Serialize)]
+pub struct SuiteRunSummary {
+    pub name: String,
+    pub wall_secs: f64,
+    /// Events the simulation processed.
+    pub sim_events: u64,
+    /// Events per wall-clock second: the engine-throughput figure of merit.
+    pub sim_events_per_sec: f64,
+    /// Simulated makespan.
+    pub sim_end_secs: f64,
+    pub aggregate_mbps: f64,
+    /// Fingerprint of the serialized report; equal across `--jobs` levels.
+    pub report_fingerprint: String,
+}
+
+/// Machine-readable output of `dualpar suite` (`BENCH_suite.json`).
+#[derive(Debug, Serialize)]
+pub struct SuiteSummary {
+    /// Format tag for downstream tooling.
+    pub schema: &'static str,
+    pub jobs: usize,
+    /// Wall-clock for the whole suite, fan-out included.
+    pub total_wall_secs: f64,
+    /// Sum of the individual run walls. With `--verify-serial` these come
+    /// from a true serial pass; otherwise they are the walls observed
+    /// inside the parallel run, which oversubscription inflates (workers
+    /// timeshare cores), so treat the derived speedup as an upper bound.
+    pub serial_wall_secs_sum: f64,
+    /// `serial_wall_secs_sum / total_wall_secs`: parallel speedup
+    /// realised on this machine (bounded by its core count).
+    pub speedup_estimate: f64,
+    pub runs: Vec<SuiteRunSummary>,
+}
+
+pub const SUITE_SCHEMA: &str = "dualpar-bench-suite/v1";
+
+/// Fold finished runs into the summary written to `BENCH_suite.json`.
+pub fn summarize(runs: &[SuiteRun], jobs: usize, total_wall_secs: f64) -> SuiteSummary {
+    let serial_wall_secs_sum: f64 = runs.iter().map(|r| r.wall_secs).sum();
+    SuiteSummary {
+        schema: SUITE_SCHEMA,
+        jobs,
+        total_wall_secs,
+        serial_wall_secs_sum,
+        speedup_estimate: if total_wall_secs > 0.0 {
+            serial_wall_secs_sum / total_wall_secs
+        } else {
+            0.0
+        },
+        runs: runs
+            .iter()
+            .map(|r| SuiteRunSummary {
+                name: r.name.clone(),
+                wall_secs: r.wall_secs,
+                sim_events: r.report.events_processed,
+                sim_events_per_sec: if r.wall_secs > 0.0 {
+                    r.report.events_processed as f64 / r.wall_secs
+                } else {
+                    0.0
+                },
+                sim_end_secs: r.report.sim_end.as_secs_f64(),
+                aggregate_mbps: r.report.aggregate_throughput_mbps(),
+                report_fingerprint: report_fingerprint(&r.report_json),
+            })
+            .collect(),
+    }
+}
+
+/// Suite scale: `Small` keeps every run under a second for smoke tests;
+/// `Paper` uses the evaluation's full workload sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Small,
+    Paper,
+}
+
+/// The built-in figure-set suite: each paper benchmark under the vanilla
+/// and DualPar strategies, plus a two-program interference pair — the
+/// independent single-run configurations behind Figs. 3–5.
+pub fn builtin_suite(scale: Scale) -> Vec<SuiteEntry> {
+    let cluster = match scale {
+        Scale::Small => crate::small_cluster(),
+        Scale::Paper => crate::paper_cluster(),
+    };
+    let shrink = |full: u64, small: u64| match scale {
+        Scale::Small => small,
+        Scale::Paper => full,
+    };
+    let nprocs = shrink(64, 16) as usize;
+    let strategies = [
+        ("vanilla", IoStrategy::Vanilla),
+        ("dualpar", IoStrategy::DualParForced),
+    ];
+    let workloads: Vec<(&str, WorkloadSpec)> = vec![
+        (
+            "mpiio",
+            WorkloadSpec::MpiIoTest(MpiIoTest {
+                nprocs,
+                file_size: shrink(2 << 30, 32 << 20),
+                ..Default::default()
+            }),
+        ),
+        (
+            "hpio",
+            WorkloadSpec::Hpio(Hpio {
+                nprocs,
+                region_count: shrink(4096, 256),
+                ..Default::default()
+            }),
+        ),
+        (
+            "ior",
+            WorkloadSpec::IorMpiIo(IorMpiIo {
+                nprocs,
+                file_size: shrink(16 << 30, 64 << 20),
+                ..Default::default()
+            }),
+        ),
+        (
+            "noncontig",
+            WorkloadSpec::Noncontig(Noncontig {
+                nprocs,
+                rows: shrink(8192, 512),
+                ..Default::default()
+            }),
+        ),
+        (
+            "btio",
+            WorkloadSpec::Btio(Btio {
+                nprocs,
+                dataset: shrink(6800 << 20, 16 << 20),
+                steps: shrink(40, 4),
+                kind: IoKind::Write,
+                ..Default::default()
+            }),
+        ),
+        (
+            "s3asim",
+            WorkloadSpec::S3asim(S3asim {
+                nprocs,
+                queries: shrink(16, 4),
+                db_size: shrink(1 << 30, 64 << 20),
+                result_size: shrink(256 << 20, 16 << 20),
+                ..Default::default()
+            }),
+        ),
+    ];
+    let mut entries = Vec::new();
+    for (wname, workload) in &workloads {
+        for (sname, strategy) in strategies {
+            entries.push(SuiteEntry::new(
+                format!("{wname}_{sname}"),
+                ExperimentSpec {
+                    cluster: cluster.clone(),
+                    programs: vec![ProgramEntry {
+                        workload: workload.clone(),
+                        strategy,
+                        start_secs: 0.0,
+                    }],
+                },
+            ));
+        }
+    }
+    // Interference pair (the Fig. 7 shape): two MPI-IO apps sharing the
+    // cluster, the second starting mid-flight of the first.
+    let pair = |strategy| ProgramEntry {
+        workload: WorkloadSpec::MpiIoTest(MpiIoTest {
+            nprocs,
+            file_size: shrink(1 << 30, 16 << 20),
+            ..Default::default()
+        }),
+        strategy,
+        start_secs: 0.0,
+    };
+    entries.push(SuiteEntry::new(
+        "interference_pair",
+        ExperimentSpec {
+            cluster,
+            programs: vec![
+                pair(IoStrategy::DualPar),
+                ProgramEntry {
+                    start_secs: 0.5,
+                    ..pair(IoStrategy::DualPar)
+                },
+            ],
+        },
+    ));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Workers build private clusters, so suite entries only need to cross
+    // the spawn boundary; assert the whole entry type stays Send + Sync.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SuiteEntry>();
+    };
+
+    #[test]
+    fn parallel_map_preserves_order_and_runs_everything() {
+        let items: Vec<u64> = (0..37).collect();
+        for jobs in [1, 2, 4, 16] {
+            let out = parallel_map(&items, jobs, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |_, &x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        }));
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = report_fingerprint("{\"x\":1}");
+        assert_eq!(a, report_fingerprint("{\"x\":1}"));
+        assert_ne!(a, report_fingerprint("{\"x\":2}"));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn small_suite_runs_deterministically_across_jobs() {
+        // Three fast entries; the full builtin suite is exercised by the
+        // check.sh smoke stage and the integration tests.
+        let entries: Vec<SuiteEntry> = builtin_suite(Scale::Small)
+            .into_iter()
+            .filter(|e| e.name.starts_with("mpiio") || e.name == "interference_pair")
+            .collect();
+        assert_eq!(entries.len(), 3);
+        let serial = run_parallel(&entries, 1);
+        let parallel = run_parallel(&entries, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(
+                s.report_json, p.report_json,
+                "{}: report must not depend on --jobs",
+                s.name
+            );
+        }
+        let summary = summarize(&parallel, 4, 1.0);
+        assert_eq!(summary.schema, SUITE_SCHEMA);
+        assert_eq!(summary.runs.len(), 3);
+        assert!(summary.runs.iter().all(|r| r.sim_events > 0));
+    }
+}

@@ -1,9 +1,8 @@
 //! The chunked global cache store.
 
 use dualpar_pfs::{FileId, FileRegion, RangeSet};
-use dualpar_sim::{SimDuration, SimTime};
+use dualpar_sim::{FxHashMap, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A compute node in the cluster (cache homes live on compute nodes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -139,12 +138,12 @@ impl PrefetchLedger {
 /// The distributed cache (metadata model).
 pub struct GlobalCache {
     cfg: CacheConfig,
-    chunks: HashMap<(FileId, u64), Chunk>,
+    chunks: FxHashMap<(FileId, u64), Chunk>,
     /// Bytes charged per owner.
-    usage: HashMap<OwnerId, u64>,
+    usage: FxHashMap<OwnerId, u64>,
     /// Bytes prefetched per owner in the current epoch (for the
     /// mis-prefetch ratio).
-    epoch_prefetched: HashMap<OwnerId, u64>,
+    epoch_prefetched: FxHashMap<OwnerId, u64>,
     stats: CacheStats,
     /// Conservation-exact accounting of prefetched bytes.
     ledger: PrefetchLedger,
@@ -160,9 +159,9 @@ impl GlobalCache {
         assert!(cfg.chunk_size > 0 && cfg.num_nodes > 0);
         GlobalCache {
             cfg,
-            chunks: HashMap::new(),
-            usage: HashMap::new(),
-            epoch_prefetched: HashMap::new(),
+            chunks: FxHashMap::default(),
+            usage: FxHashMap::default(),
+            epoch_prefetched: FxHashMap::default(),
             stats: CacheStats::default(),
             ledger: PrefetchLedger::default(),
             dirty_now: 0,

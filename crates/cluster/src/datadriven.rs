@@ -24,14 +24,14 @@ impl Cluster {
 
     // ----- data-driven I/O entry -----------------------------------------
 
-    pub(crate) fn dd_io(&mut self, now: SimTime, p: usize, call: IoCall) {
+    pub(crate) fn dd_io(&mut self, now: SimTime, p: usize, call: &IoCall) {
         match call.kind {
             IoKind::Read => self.dd_read(now, p, call),
             IoKind::Write => self.dd_write(now, p, call),
         }
     }
 
-    fn dd_read(&mut self, now: SimTime, p: usize, call: IoCall) {
+    fn dd_read(&mut self, now: SimTime, p: usize, call: &IoCall) {
         // Probe the global cache (consuming on hit).
         let node = self.procs[p].node;
         let all_present = call
@@ -66,7 +66,7 @@ impl Cluster {
         // servers, as the real system does once the normal process detects
         // the miss.
         if self.procs[p].miss_trigger_op == Some(self.procs[p].pos) {
-            self.dd_direct_fetch(now, p, &call);
+            self.dd_direct_fetch(now, p, call);
             return;
         }
         let pos = self.procs[p].pos;
@@ -74,7 +74,7 @@ impl Cluster {
         self.dd_suspend(now, p, true);
     }
 
-    fn dd_write(&mut self, now: SimTime, p: usize, call: IoCall) {
+    fn dd_write(&mut self, now: SimTime, p: usize, call: &IoCall) {
         let node = self.procs[p].node;
         let owner = self.procs[p].owner;
         let mut homes = Vec::new();
@@ -130,8 +130,9 @@ impl Cluster {
             PState::S2Wait { op } => op,
             ref other => unreachable!("direct fetch done in state {other:?}"),
         };
-        let call = match &self.procs[p].script.ops[op] {
-            dualpar_mpiio::Op::Io(c) => c.clone(),
+        let script = std::sync::Arc::clone(&self.procs[p].script);
+        let call = match &script.ops[op] {
+            dualpar_mpiio::Op::Io(c) => c,
             _ => unreachable!(),
         };
         // Mark any cached parts of the call consumed (prefetch-usage
@@ -139,7 +140,7 @@ impl Cluster {
         for r in &call.regions {
             self.cache.read(call.file, *r, now);
         }
-        self.complete_io_op(now, p, &call);
+        self.complete_io_op(now, p, call);
     }
 
     // ----- suspension & ghost pre-execution -------------------------------
@@ -486,7 +487,7 @@ impl Cluster {
 
     // ----- Strategy 2: prefetch-overlap -----------------------------------
 
-    pub(crate) fn s2_read(&mut self, now: SimTime, p: usize, call: IoCall) {
+    pub(crate) fn s2_read(&mut self, now: SimTime, p: usize, call: &IoCall) {
         let node = self.procs[p].node;
         // Which regions are already cached?
         let missing: Vec<FileRegion> = call
@@ -647,15 +648,16 @@ impl Cluster {
             self.procs[w].s2_waiting.remove(&key);
             if self.procs[w].s2_waiting.is_empty() && !self.procs[w].direct_pending {
                 if let PState::S2Wait { op } = self.procs[w].state {
-                    let call = match &self.procs[w].script.ops[op] {
-                        dualpar_mpiio::Op::Io(c) => c.clone(),
+                    let script = std::sync::Arc::clone(&self.procs[w].script);
+                    let call = match &script.ops[op] {
+                        dualpar_mpiio::Op::Io(c) => c,
                         _ => unreachable!(),
                     };
                     // Consume from cache (mark used).
                     for r in &call.regions {
                         self.cache.read(call.file, *r, now);
                     }
-                    self.complete_io_op(now, w, &call);
+                    self.complete_io_op(now, w, call);
                 }
             }
         }

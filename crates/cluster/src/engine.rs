@@ -12,7 +12,8 @@ use dualpar_mpiio::{CoalescedIo, ProcessScript};
 use dualpar_pfs::{FileId, FileRegion, Pvfs};
 use dualpar_sim::{EventId, EventQueue, Link, SimDuration, SimTime, TimeSeries};
 use dualpar_telemetry::Telemetry;
-use std::collections::{HashMap, HashSet};
+use dualpar_sim::{FxHashMap, FxHashSet};
+use std::collections::HashSet;
 
 /// Safety valve: a single experiment should never need more events.
 const MAX_EVENTS: u64 = 2_000_000_000;
@@ -126,7 +127,10 @@ pub(crate) struct Proc {
     pub rank: usize,
     pub node: u32,
     pub ctx: IoCtx,
-    pub script: ProcessScript,
+    /// Shared, immutable per-rank script. Behind an `Arc` so the hot
+    /// execution paths can detach a cheap handle and borrow ops out of it
+    /// while mutating the rest of the cluster — no per-op deep clones.
+    pub script: std::sync::Arc<ProcessScript>,
     pub pos: usize,
     pub state: PState,
     pub clock: IoClock,
@@ -142,7 +146,7 @@ pub(crate) struct Proc {
     /// Bytes the ghost recorded in the current phase (resume accounting).
     pub phase_bytes: u64,
     /// Regions waited on under Strategy 2.
-    pub s2_waiting: HashSet<(u32, u64, u64)>,
+    pub s2_waiting: FxHashSet<(u32, u64, u64)>,
     /// Recorded-but-not-yet-issued Strategy-2 prefetches (async window).
     pub s2_queue: std::collections::VecDeque<(FileId, FileRegion)>,
     /// Prefetch requests currently outstanding at the servers.
@@ -189,7 +193,7 @@ pub(crate) struct Program {
     /// Writes planned for after the fill stage.
     pub staged_writes: Vec<CoalescedIo>,
     pub staged_prefetch: Vec<CoalescedIo>,
-    pub barrier_waits: HashMap<u64, Vec<usize>>,
+    pub barrier_waits: FxHashMap<u64, Vec<usize>>,
     pub coll: CollectState,
     pub started: bool,
     pub start: SimTime,
@@ -227,11 +231,11 @@ pub struct Cluster {
     pub(crate) req_dist: Vec<ReqDistTracker>,
     pub(crate) procs: Vec<Proc>,
     pub(crate) programs: Vec<Program>,
-    pub(crate) groups: HashMap<u64, Group>,
+    pub(crate) groups: FxHashMap<u64, Group>,
     pub(crate) next_group: u64,
-    pub(crate) req_info: HashMap<u64, (u64, u64)>, // sub id -> (group, resp_bytes)
+    pub(crate) req_info: FxHashMap<u64, (u64, u64)>, // sub id -> (group, resp_bytes)
     pub(crate) next_req: u64,
-    pub(crate) s2_inflight: HashMap<(u32, u64, u64), Vec<usize>>,
+    pub(crate) s2_inflight: FxHashMap<(u32, u64, u64), Vec<usize>>,
     /// Per-server buffered (acknowledged, unflushed) write requests, used
     /// in the WriteBack server mode.
     pub(crate) server_dirty: Vec<Vec<DiskRequest>>,
@@ -248,6 +252,13 @@ pub struct Cluster {
     pub(crate) next_ctx: u32,
     pub(crate) tele: Telemetry,
 }
+
+// The parallel suite runner builds and runs whole clusters on scoped worker
+// threads, so `Cluster` must stay `Send`. Compile-time check, no runtime cost.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Cluster>();
+};
 
 impl Cluster {
     /// Assemble a cluster from its configuration.
@@ -293,11 +304,11 @@ impl Cluster {
             req_dist,
             procs: Vec::new(),
             programs: Vec::new(),
-            groups: HashMap::new(),
+            groups: FxHashMap::default(),
             next_group: 0,
-            req_info: HashMap::new(),
+            req_info: FxHashMap::default(),
             next_req: 0,
-            s2_inflight: HashMap::new(),
+            s2_inflight: FxHashMap::default(),
             server_dirty: vec![Vec::new(); nservers],
             server_flush_scheduled: vec![false; nservers],
             timeline: TimeSeries::new(SimDuration::from_secs(1)),
@@ -336,9 +347,10 @@ impl Cluster {
         );
         let idx = self.programs.len();
         let nprocs = spec.script.nprocs();
+        let name = spec.script.name.clone();
         let first_proc = self.procs.len();
         let mut files = HashSet::new();
-        for (rank, script) in spec.script.ranks.iter().enumerate() {
+        for (rank, script) in spec.script.ranks.into_iter().enumerate() {
             for op in &script.ops {
                 if let dualpar_mpiio::Op::Io(call) = op {
                     files.insert(call.file);
@@ -352,7 +364,7 @@ impl Cluster {
                 rank,
                 node,
                 ctx,
-                script: script.clone(),
+                script: std::sync::Arc::new(script),
                 pos: 0,
                 state: PState::Computing,
                 clock: IoClock::new(),
@@ -362,7 +374,7 @@ impl Cluster {
                 ghost_pos: 0,
                 miss_trigger_op: None,
                 phase_bytes: 0,
-                s2_waiting: HashSet::new(),
+                s2_waiting: FxHashSet::default(),
                 s2_queue: std::collections::VecDeque::new(),
                 s2_outstanding: 0,
                 pending_ghost: Vec::new(),
@@ -375,7 +387,7 @@ impl Cluster {
             assert!(
                 self.pvfs.meta(*f).is_some(),
                 "program {} references file {f:?} that was never created",
-                spec.script.name
+                name
             );
         }
         let mode = if spec.strategy == IoStrategy::DualParForced {
@@ -388,7 +400,7 @@ impl Cluster {
             self.emc_active = true;
         }
         self.programs.push(Program {
-            name: spec.script.name.clone(),
+            name,
             strategy: spec.strategy,
             procs: first_proc..first_proc + nprocs,
             files,
@@ -399,7 +411,7 @@ impl Cluster {
             recordings: Vec::new(),
             staged_writes: Vec::new(),
             staged_prefetch: Vec::new(),
-            barrier_waits: HashMap::new(),
+            barrier_waits: FxHashMap::default(),
             coll: CollectState {
                 arrived: vec![None; nprocs],
                 count: 0,
@@ -465,16 +477,20 @@ impl Cluster {
     pub(crate) fn cache_access_time(&self, node: u32, homes: &[(NodeId, u64)]) -> SimDuration {
         let mut t = SimDuration::from_micros(1);
         let mut local = 0u64;
-        let mut remote: HashMap<u32, u64> = HashMap::new();
+        // Dense per-node accumulator: node ids are small contiguous
+        // integers, so indexing beats hashing on this per-access path.
+        // `Some(0)` still charges the round trip — a touched remote node
+        // costs its latency even for an empty payload.
+        let mut remote: Vec<Option<u64>> = vec![None; self.node_links.len()];
         for &(home, bytes) in homes {
             if home.0 == node {
                 local += bytes;
             } else {
-                *remote.entry(home.0).or_insert(0) += bytes;
+                *remote[home.0 as usize].get_or_insert(0) += bytes;
             }
         }
         t += SimDuration::for_transfer(local, self.cfg.mem_bandwidth);
-        for (_, bytes) in remote {
+        for bytes in remote.into_iter().flatten() {
             t += self.cfg.net_latency + SimDuration::for_transfer(bytes, self.cfg.net_bandwidth);
         }
         t

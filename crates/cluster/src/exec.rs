@@ -12,26 +12,29 @@ use dualpar_sim::{SimDuration, SimTime};
 impl Cluster {
     /// Advance a process through its script until it blocks or finishes.
     pub(crate) fn advance(&mut self, now: SimTime, p: usize) {
+        // Detach a handle to the (immutable, shared) script so ops can be
+        // borrowed out of it while `self` is mutated — the hot loop never
+        // deep-clones an op.
+        let script = std::sync::Arc::clone(&self.procs[p].script);
         loop {
             let pos = self.procs[p].pos;
-            if pos >= self.procs[p].script.ops.len() {
+            if pos >= script.ops.len() {
                 self.proc_done(now, p);
                 return;
             }
-            let op = self.procs[p].script.ops[pos].clone();
-            match op {
+            match &script.ops[pos] {
                 Op::Compute(d) => {
                     self.procs[p].pos += 1;
-                    if d == SimDuration::ZERO {
+                    if *d == SimDuration::ZERO {
                         continue;
                     }
                     self.procs[p].state = PState::Computing;
-                    self.queue.schedule(now + d, Ev::ProcReady(p));
+                    self.queue.schedule(now + *d, Ev::ProcReady(p));
                     return;
                 }
                 Op::Barrier(id) => {
                     self.procs[p].pos += 1;
-                    if self.barrier_arrive(now, p, id) {
+                    if self.barrier_arrive(now, p, *id) {
                         continue; // we released the barrier; keep going
                     }
                     return; // waiting
@@ -82,7 +85,7 @@ impl Cluster {
     }
 
     /// Route an I/O call according to the program's strategy and mode.
-    fn begin_io(&mut self, now: SimTime, p: usize, call: IoCall) {
+    fn begin_io(&mut self, now: SimTime, p: usize, call: &IoCall) {
         {
             let proc = &mut self.procs[p];
             let gap = now.since(proc.last_io_end);
@@ -111,7 +114,7 @@ impl Cluster {
     /// Issue a call's regions synchronously, one region at a time — the
     /// computation-driven baseline ("a process issues its synchronous read
     /// requests one at a time", §II).
-    fn vanilla_io(&mut self, now: SimTime, p: usize, call: IoCall) {
+    fn vanilla_io(&mut self, now: SimTime, p: usize, call: &IoCall) {
         let covers: Vec<FileRegion> = if call.kind == IoKind::Read && self.cfg.sieve.enabled {
             plan_strided(call.file, &call.regions, &self.cfg.sieve)
                 .into_iter()
@@ -139,19 +142,16 @@ impl Cluster {
             PState::VanillaIo { op, next_region } => (op, next_region),
             ref other => unreachable!("vanilla_issue_next in state {other:?}"),
         };
+        let script = std::sync::Arc::clone(&self.procs[p].script);
+        let call = match &script.ops[op] {
+            Op::Io(c) => c,
+            _ => unreachable!("op index must be an Io op"),
+        };
         if next_region >= self.procs[p].cur_covers.len() {
             // Op complete.
-            let call = match &self.procs[p].script.ops[op] {
-                Op::Io(c) => c.clone(),
-                _ => unreachable!("op index must be an Io op"),
-            };
-            self.complete_io_op(now, p, &call);
+            self.complete_io_op(now, p, call);
             return;
         }
-        let call = match &self.procs[p].script.ops[op] {
-            Op::Io(c) => c.clone(),
-            _ => unreachable!(),
-        };
         let cover = self.procs[p].cur_covers[next_region];
         self.procs[p].state = PState::VanillaIo {
             op,
@@ -195,7 +195,7 @@ impl Cluster {
 
     // ----- collective ----------------------------------------------------
 
-    fn coll_arrive(&mut self, now: SimTime, p: usize, call: IoCall) {
+    fn coll_arrive(&mut self, now: SimTime, p: usize, call: &IoCall) {
         let prog = self.procs[p].prog;
         let rank = self.procs[p].rank;
         {

@@ -63,10 +63,18 @@ impl DiskRequest {
         }
     }
 
-    /// One-past-the-end sector.
+    /// One-past-the-end sector. Saturates: an extent reaching past
+    /// `u64::MAX` is a caller bug, but a clamped end only disables merges
+    /// instead of wrapping into a bogus low LBN.
     #[inline]
     pub fn end(&self) -> Lbn {
-        self.lbn + self.sectors
+        debug_assert!(
+            self.lbn.checked_add(self.sectors).is_some(),
+            "request extent overflows LBN space: lbn={} sectors={}",
+            self.lbn,
+            self.sectors
+        );
+        self.lbn.saturating_add(self.sectors)
     }
 
     /// Whether `next` extends this request contiguously at its tail with the
@@ -74,7 +82,10 @@ impl DiskRequest {
     pub fn can_back_merge(&self, next: &DiskRequest, max_sectors: u64) -> bool {
         self.kind == next.kind
             && self.end() == next.lbn
-            && self.sectors + next.sectors <= max_sectors
+            && self
+                .sectors
+                .checked_add(next.sectors)
+                .is_some_and(|total| total <= max_sectors)
     }
 
     /// Perform the back merge, absorbing `next`'s ids.

@@ -94,7 +94,7 @@ impl Scheduler for AnticipatoryScheduler {
                 let ok = self.antic_ok.get(&ctx).copied().unwrap_or(true);
                 match self.antic_until {
                     None if ok => {
-                        let until = now + self.cfg.antic_window;
+                        let until = now.saturating_add(self.cfg.antic_window);
                         self.antic_until = Some(until);
                         return Decision::IdleUntil(until);
                     }

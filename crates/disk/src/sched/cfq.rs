@@ -143,7 +143,7 @@ impl CfqScheduler {
             if self.queue_len(ctx) > 0 {
                 self.rr.push_back(ctx);
                 self.active = Some(ctx);
-                self.slice_end = now + self.cfg.slice;
+                self.slice_end = now.saturating_add(self.cfg.slice);
                 return Some(ctx);
             }
             // Context idle: drop it from the RR ring; it re-registers on
@@ -203,7 +203,7 @@ impl Scheduler for CfqScheduler {
                 let idle_ok = self.queues.get(&ctx).is_none_or(|q| q.idle_ok);
                 match self.idle_until {
                     None if idle_ok => {
-                        let until = (now + self.cfg.slice_idle).min_of(self.slice_end);
+                        let until = now.saturating_add(self.cfg.slice_idle).min_of(self.slice_end);
                         if until > now {
                             self.idle_until = Some(until);
                             return Decision::IdleUntil(until);

@@ -100,7 +100,7 @@ impl Scheduler for DeadlineScheduler {
             IoKind::Read => self.cfg.read_expire,
             IoKind::Write => self.cfg.write_expire,
         };
-        let deadline = req.arrival + expire;
+        let deadline = req.arrival.saturating_add(expire);
         let id = req.id;
         let kind = req.kind;
         let pos = self

@@ -12,6 +12,20 @@ pub struct RangeSet {
     runs: Vec<(u64, u64)>,
 }
 
+/// One-past-the-end offset of `[start, start+len)`. A range whose end
+/// exceeds `u64::MAX` is a caller bug (file offsets are byte positions, so
+/// the last representable byte is `u64::MAX - 1`); catch it loudly in debug
+/// builds and clamp to `u64::MAX` in release rather than wrapping around to
+/// a tiny end and silently corrupting the run list.
+#[inline]
+fn range_end(start: u64, len: u64) -> u64 {
+    debug_assert!(
+        start.checked_add(len).is_some(),
+        "byte range overflows u64: start={start} len={len}"
+    );
+    start.saturating_add(len)
+}
+
 impl RangeSet {
     /// The empty set.
     pub fn new() -> Self {
@@ -51,7 +65,7 @@ impl RangeSet {
             return;
         }
         let mut s = start;
-        let mut e = start + len;
+        let mut e = range_end(start, len);
         // Find all runs overlapping or touching [s, e).
         let lo = self.runs.partition_point(|&(_, re)| re < s);
         let mut hi = lo;
@@ -69,7 +83,7 @@ impl RangeSet {
             return;
         }
         let s = start;
-        let e = start + len;
+        let e = range_end(start, len);
         let mut result = Vec::with_capacity(self.runs.len() + 1);
         for &(rs, re) in &self.runs {
             if re <= s || rs >= e {
@@ -91,7 +105,7 @@ impl RangeSet {
         if len == 0 {
             return true;
         }
-        let e = start + len;
+        let e = range_end(start, len);
         let idx = self.runs.partition_point(|&(_, re)| re <= start);
         match self.runs.get(idx) {
             Some(&(rs, re)) => rs <= start && e <= re,
@@ -104,7 +118,7 @@ impl RangeSet {
         if len == 0 {
             return 0;
         }
-        let e = start + len;
+        let e = range_end(start, len);
         let mut covered = 0;
         let idx = self.runs.partition_point(|&(_, re)| re <= start);
         for &(rs, re) in &self.runs[idx..] {
@@ -118,7 +132,7 @@ impl RangeSet {
 
     /// The gaps of `[start, start+len)` not covered by the set.
     pub fn gaps(&self, start: u64, len: u64) -> Vec<(u64, u64)> {
-        let e = start + len;
+        let e = range_end(start, len);
         let mut gaps = Vec::new();
         let mut cursor = start;
         let idx = self.runs.partition_point(|&(_, re)| re <= start);
@@ -228,5 +242,79 @@ mod tests {
         r.remove(6, 0);
         assert_eq!(r.covered(), 5);
         assert_eq!(r.intersect_len(0, 0), 0);
+    }
+
+    #[test]
+    fn near_max_ranges_are_exact() {
+        // The largest representable range ends exactly at u64::MAX.
+        let start = u64::MAX - 100;
+        let mut r = RangeSet::from_range(start, 100);
+        assert_eq!(r.covered(), 100);
+        assert!(r.contains_range(start, 100));
+        assert!(r.contains_range(u64::MAX - 1, 1));
+        assert_eq!(r.intersect_len(start, 100), 100);
+        assert_eq!(r.gaps(start, 100), vec![]);
+        r.remove(start + 40, 20);
+        assert_eq!(r.covered(), 80);
+        assert_eq!(r.gaps(start, 100), vec![(start + 40, 20)]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "byte range overflows u64")]
+    fn overflowing_range_panics_in_debug() {
+        let mut r = RangeSet::new();
+        r.insert(u64::MAX - 5, 10);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Ranges pinned near `u64::MAX` whose end still fits in `u64`.
+        fn near_max_range() -> impl Strategy<Value = (u64, u64)> {
+            (0u64..4096).prop_flat_map(|back| {
+                let start = u64::MAX - back;
+                (Just(start), 0..=back)
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn single_insert_near_max_round_trips(
+                (start, len) in near_max_range()
+            ) {
+                let r = RangeSet::from_range(start, len);
+                prop_assert_eq!(r.covered(), len);
+                prop_assert!(r.contains_range(start, len));
+                prop_assert_eq!(r.intersect_len(start, len), len);
+                prop_assert_eq!(r.gaps(start, len), vec![]);
+            }
+
+            #[test]
+            fn insert_remove_near_max_is_consistent(
+                (s1, l1) in near_max_range(),
+                (s2, l2) in near_max_range(),
+            ) {
+                let mut r = RangeSet::new();
+                r.insert(s1, l1);
+                r.insert(s2, l2);
+                // covered == probe-based count over the union window
+                // (bounded: lo >= u64::MAX - 4095, so <= 4096 probes).
+                let lo = s1.min(s2);
+                let want: u64 = (lo..=u64::MAX)
+                    .filter(|&b| {
+                        (b >= s1 && b - s1 < l1) || (b >= s2 && b - s2 < l2)
+                    })
+                    .count() as u64;
+                prop_assert_eq!(r.covered(), want);
+                r.remove(s2, l2);
+                prop_assert_eq!(r.intersect_len(s2, l2), 0);
+                // gaps ∪ runs must tile the removed window exactly.
+                let gap_total: u64 =
+                    r.gaps(s2, l2).iter().map(|&(_, g)| g).sum();
+                prop_assert_eq!(gap_total + r.intersect_len(s2, l2), l2);
+            }
+        }
     }
 }

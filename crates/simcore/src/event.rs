@@ -17,7 +17,6 @@ struct Entry<E> {
     time: SimTime,
     seq: u64,
     payload: E,
-    cancelled: bool,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -103,7 +102,6 @@ impl<E> EventQueue<E> {
             time: at,
             seq,
             payload,
-            cancelled: false,
         });
         EventId(seq)
     }
@@ -119,9 +117,12 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
+    ///
+    /// Cancellation is lazy: the `cancelled` seq set is the single source
+    /// of truth, consulted (and drained) here and in [`Self::peek_time`].
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if entry.cancelled || self.cancelled.remove(&entry.seq) {
+            if self.cancelled.remove(&entry.seq) {
                 continue;
             }
             debug_assert!(entry.time >= self.now, "event queue time inversion");
@@ -240,6 +241,31 @@ mod tests {
         q.schedule(SimTime(2), "b");
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime(2)));
+    }
+
+    #[test]
+    fn cancellation_has_one_source_of_truth() {
+        // Regression: `Entry` used to carry a dead `cancelled: bool` that
+        // was pushed as false and never set, shadowing the real mechanism
+        // (the queue-level cancelled-seq set). With the field gone, every
+        // interleaving of cancel/schedule/pop must agree with the set.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime(1), "a");
+        let b = q.schedule(SimTime(2), "b");
+        let c = q.schedule(SimTime(3), "c");
+        assert!(q.cancel(b));
+        // Cancel, then cancel again: second is a no-op and len is exact.
+        assert!(!q.cancel(b));
+        assert_eq!(q.len(), 2);
+        // Peek must skip the cancelled entry without resurrecting it.
+        assert_eq!(q.peek_time(), Some(SimTime(1)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
+        assert!(q.pop().is_none());
+        // Cancelling fired ids after drain stays a no-op.
+        assert!(!q.cancel(a));
+        assert!(!q.cancel(c));
+        assert_eq!(q.len(), 0);
     }
 
     #[test]

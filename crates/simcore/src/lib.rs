@@ -14,6 +14,7 @@
 //! in `tests/` enforce.
 
 pub mod event;
+pub mod hash;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -47,6 +48,7 @@ macro_rules! strict_assert_eq {
 }
 
 pub use event::{EventId, EventQueue};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use resource::{FifoResource, Link};
 pub use rng::DetRng;
 pub use stats::{OnlineStats, Samples, TimeSeries};

@@ -66,6 +66,14 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// Saturating `self + d`, pinned at [`SimTime::MAX`] on overflow. Use
+    /// for open-ended deadlines (idle windows, slice expiries) where a
+    /// pathological duration must clamp rather than wrap the clock.
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
     #[inline]
     pub fn min_of(self, other: SimTime) -> SimTime {
         if self <= other {

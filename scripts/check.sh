@@ -24,4 +24,14 @@ cargo run --release --offline -q -p dualpar-bench --example interference -- \
     --small --trace "$golden"
 ./target/release/dualpar-audit trace "$golden"
 
+# Suite smoke: the parallel runner over the small figure-set suite, with
+# the serial-twin determinism check (exits non-zero on any byte-level
+# report divergence between --jobs N and serial). Timed so engine-speed
+# regressions show up in the log (see docs/BENCH.md).
+suite_out="$(mktemp -d /tmp/dualpar-suite.XXXXXX)"
+trap 'rm -f "$golden"; rm -rf "$suite_out"' EXIT
+time cargo run --release --offline -q -p dualpar-bench --bin dualpar -- \
+    suite --jobs "$(nproc)" --scale small --verify-serial \
+    --out "$suite_out/BENCH_suite.json"
+
 echo "check.sh: all green"

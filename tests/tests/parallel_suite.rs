@@ -1,0 +1,108 @@
+//! Cross-crate tests of the parallel suite runner: fanning independent
+//! simulations over a worker pool must not perturb a single bit of any
+//! run's serialized report or event trace, and traces produced on worker
+//! threads must pass the full invariant audit exactly like serial ones.
+
+use dualpar_audit::{audit_jsonl_str, AuditConfig};
+use dualpar_bench::suite::{builtin_suite, run_entry, run_parallel, summarize, Scale};
+use dualpar_cluster::TelemetryLevel;
+
+/// The small-scale built-in suite with trace-level telemetry switched on,
+/// so every run also captures its JSONL event trace in memory.
+fn traced_small_suite() -> Vec<dualpar_bench::SuiteEntry> {
+    let mut entries = builtin_suite(Scale::Small);
+    for e in &mut entries {
+        e.spec.cluster.telemetry.level = TelemetryLevel::Trace;
+    }
+    entries
+}
+
+#[test]
+fn suite_reports_and_traces_identical_across_jobs() {
+    // Keep the runtime in check: the three fastest single-program entries
+    // plus the two-program interference pair cover one- and multi-program
+    // clusters.
+    let entries: Vec<_> = traced_small_suite()
+        .into_iter()
+        .filter(|e| {
+            e.name.starts_with("mpiio")
+                || e.name.starts_with("noncontig")
+                || e.name == "interference_pair"
+        })
+        .collect();
+    assert_eq!(entries.len(), 5);
+    let serial = run_parallel(&entries, 1);
+    let pooled = run_parallel(&entries, 4);
+    for (s, p) in serial.iter().zip(&pooled) {
+        assert_eq!(s.name, p.name, "result order must match input order");
+        assert_eq!(
+            s.report_json, p.report_json,
+            "{}: serialized report differs between jobs=1 and jobs=4",
+            s.name
+        );
+        let st = s.trace_jsonl.as_ref().expect("serial trace captured");
+        let pt = p.trace_jsonl.as_ref().expect("pooled trace captured");
+        assert!(!st.is_empty(), "{}: trace must not be empty", s.name);
+        assert_eq!(
+            st, pt,
+            "{}: event trace differs between jobs=1 and jobs=4",
+            s.name
+        );
+    }
+    // The summary's determinism-bearing fields must agree too; only the
+    // wall-clock measurements may differ between the two passes.
+    let a = summarize(&serial, 1, 1.0);
+    let b = summarize(&pooled, 4, 1.0);
+    for (ra, rb) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(ra.report_fingerprint, rb.report_fingerprint);
+        assert_eq!(ra.sim_events, rb.sim_events);
+        assert_eq!(ra.sim_end_secs, rb.sim_end_secs);
+    }
+}
+
+#[test]
+fn worker_thread_trace_passes_interference_audit() {
+    // The interference pair is the audit's richest input: two DualPar
+    // programs share the cluster, so the trace exercises mode switches,
+    // prefetch accounting, and cross-program completion groups. Produce it
+    // on a pool worker (jobs > 1) and hold it to the same standard as any
+    // serially produced trace. (btio_vanilla is excluded: its ~2.6M events
+    // overflow the 64Ki-event trace ring, and a truncated ring legitimately
+    // shows completions whose dispatches were evicted.)
+    let entries: Vec<_> = traced_small_suite()
+        .into_iter()
+        .filter(|e| {
+            e.name == "interference_pair" || e.name == "btio_dualpar" || e.name == "hpio_vanilla"
+        })
+        .collect();
+    assert_eq!(entries.len(), 3);
+    let runs = run_parallel(&entries, entries.len());
+    for run in &runs {
+        let trace = run.trace_jsonl.as_ref().expect("trace captured");
+        let report = audit_jsonl_str(trace, AuditConfig::default())
+            .unwrap_or_else(|e| panic!("{}: trace failed to parse: {e:?}", run.name));
+        assert!(report.events > 0, "{}: audited zero events", run.name);
+        assert!(
+            report.ok(),
+            "{}: worker-thread trace violates invariants: {:?}",
+            run.name,
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn run_entry_matches_pooled_twin_for_every_small_entry() {
+    // Full small suite, one pooled pass against per-entry serial twins:
+    // the exact check `dualpar suite --verify-serial` performs.
+    let entries = builtin_suite(Scale::Small);
+    let pooled = run_parallel(&entries, 4);
+    for (entry, run) in entries.iter().zip(&pooled) {
+        let twin = run_entry(entry);
+        assert_eq!(
+            twin.report_json, run.report_json,
+            "{}: pooled run diverged from its serial twin",
+            entry.name
+        );
+    }
+}
