@@ -376,6 +376,15 @@ pub struct AuditConfig {
     /// Mis-prefetch ratio above which the veto fires (reported for
     /// context; the veto itself is audited via the tick's `vetoed` flag).
     pub misprefetch_threshold: f64,
+    /// Tolerate a truncated trace prefix: a saturated ring buffer drops the
+    /// oldest events, so the first `disk/done` per server and the first
+    /// `pec/resume` per process may have lost their opening half. With this
+    /// set, such "missing start" pairing errors — only while the server /
+    /// process has not yet shown a `disk/start` / `pec/suspend` of its own —
+    /// are counted as warnings ([`AuditReport::warnings`]) instead of
+    /// violations. Mismatched pairings (the opening half *was* seen) are
+    /// always violations.
+    pub tolerate_truncation: bool,
 }
 
 impl Default for AuditConfig {
@@ -384,6 +393,7 @@ impl Default for AuditConfig {
             io_ratio_threshold: 0.8,
             t_improvement: 3.0,
             misprefetch_threshold: 0.2,
+            tolerate_truncation: false,
         }
     }
 }
@@ -406,12 +416,16 @@ pub struct Violation {
 pub struct AuditReport {
     /// Events examined.
     pub events: usize,
+    /// Pairing errors downgraded under
+    /// [`AuditConfig::tolerate_truncation`] (dropped-prefix artifacts).
+    /// Zero unless that option is set.
+    pub warnings: usize,
     /// Violations found, in stream order.
     pub violations: Vec<Violation>,
 }
 
 impl AuditReport {
-    /// Did the trace pass every check?
+    /// Did the trace pass every check? (Truncation warnings don't fail it.)
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
     }
@@ -421,6 +435,8 @@ impl AuditReport {
         let mut out = String::new();
         out.push_str("{\"events\":");
         out.push_str(&self.events.to_string());
+        out.push_str(",\"warnings\":");
+        out.push_str(&self.warnings.to_string());
         out.push_str(",\"ok\":");
         out.push_str(if self.ok() { "true" } else { "false" });
         out.push_str(",\"violations\":[");
@@ -494,6 +510,13 @@ pub struct Auditor {
     last_tick: HashMap<u64, TickObs>,
     /// Per program: last CRM phase sequence number.
     crm_seq: HashMap<u64, u64>,
+    /// Pairing errors downgraded to warnings (truncated-prefix window).
+    warnings: usize,
+    /// Servers that have shown a `disk/start` — a done-without-start on one
+    /// of these is a real pairing error even under truncation tolerance.
+    seen_disk_start: HashSet<u64>,
+    /// Processes that have shown a `pec/suspend` — same reasoning.
+    seen_pec_suspend: HashSet<u64>,
 }
 
 impl Auditor {
@@ -510,6 +533,9 @@ impl Auditor {
             vetoed: HashSet::new(),
             last_tick: HashMap::new(),
             crm_seq: HashMap::new(),
+            warnings: 0,
+            seen_disk_start: HashSet::new(),
+            seen_pec_suspend: HashSet::new(),
         }
     }
 
@@ -729,6 +755,7 @@ impl Auditor {
             );
         }
         self.in_flight.insert(server, (id, self.index));
+        self.seen_disk_start.insert(server);
     }
 
     fn on_disk_done(&mut self, ev: &AuditEvent) {
@@ -737,6 +764,12 @@ impl Auditor {
             return;
         };
         match self.in_flight.remove(&server) {
+            // Before a server's first observed start, a lone done is the
+            // signature of a dropped trace prefix (its start fell off the
+            // ring); count it as a warning when tolerance is on.
+            None if self.cfg.tolerate_truncation && !self.seen_disk_start.contains(&server) => {
+                self.warnings += 1;
+            }
             None => self.flag(
                 ev.t,
                 "disk-pairing",
@@ -764,6 +797,7 @@ impl Auditor {
             );
         }
         self.suspended.insert(proc, self.index);
+        self.seen_pec_suspend.insert(proc);
     }
 
     fn on_pec_resume(&mut self, ev: &AuditEvent) {
@@ -772,11 +806,17 @@ impl Auditor {
             return;
         };
         if self.suspended.remove(&proc).is_none() {
-            self.flag(
-                ev.t,
-                "pec-pairing",
-                format!("proc {proc} resumed without a matching suspend"),
-            );
+            // Mirror of the disk case: before this process's first observed
+            // suspend, the matching suspend may be in the dropped prefix.
+            if self.cfg.tolerate_truncation && !self.seen_pec_suspend.contains(&proc) {
+                self.warnings += 1;
+            } else {
+                self.flag(
+                    ev.t,
+                    "pec-pairing",
+                    format!("proc {proc} resumed without a matching suspend"),
+                );
+            }
         }
     }
 
@@ -836,6 +876,7 @@ impl Auditor {
         }
         AuditReport {
             events: self.index,
+            warnings: self.warnings,
             violations: self.violations,
         }
     }
@@ -954,6 +995,49 @@ mod tests {
     }
 
     #[test]
+    fn truncation_tolerance_downgrades_prefix_orphans() {
+        // A ring trace whose prefix fell off: the first done/resume per
+        // server/proc arrive with their opening halves missing.
+        let lines = "{\"t\":1.0,\"component\":\"disk\",\"kind\":\"done\",\"server\":0,\"id\":7}\n\
+             {\"t\":1.1,\"component\":\"pec\",\"kind\":\"resume\",\"proc\":3,\"program\":0}\n\
+             {\"t\":1.2,\"component\":\"disk\",\"kind\":\"start\",\"server\":0,\"id\":8,\"sectors\":8}\n\
+             {\"t\":1.3,\"component\":\"disk\",\"kind\":\"done\",\"server\":0,\"id\":8}\n";
+        // Default: both orphans are violations.
+        let strict = audit(lines);
+        assert_eq!(strict.violations.len(), 2);
+        assert_eq!(strict.warnings, 0);
+        // Tolerant: downgraded to counted warnings; the paired tail is clean.
+        let cfg = AuditConfig {
+            tolerate_truncation: true,
+            ..AuditConfig::default()
+        };
+        let tolerant = audit_jsonl_str(lines, cfg).unwrap();
+        assert!(tolerant.ok(), "unexpected: {:?}", tolerant.violations);
+        assert_eq!(tolerant.warnings, 2);
+        assert!(tolerant.to_json().contains("\"warnings\":2"));
+    }
+
+    #[test]
+    fn truncation_tolerance_keeps_post_prefix_pairing_errors() {
+        // Once a server/proc has shown its opening half, a later orphan can
+        // no longer be blamed on the dropped prefix — still a violation.
+        let lines = "{\"t\":1.0,\"component\":\"disk\",\"kind\":\"start\",\"server\":0,\"id\":1,\"sectors\":8}\n\
+             {\"t\":1.1,\"component\":\"disk\",\"kind\":\"done\",\"server\":0,\"id\":1}\n\
+             {\"t\":1.2,\"component\":\"disk\",\"kind\":\"done\",\"server\":0,\"id\":2}\n\
+             {\"t\":1.3,\"component\":\"pec\",\"kind\":\"suspend\",\"proc\":5,\"program\":0}\n\
+             {\"t\":1.4,\"component\":\"pec\",\"kind\":\"resume\",\"proc\":5,\"program\":0}\n\
+             {\"t\":1.5,\"component\":\"pec\",\"kind\":\"resume\",\"proc\":5,\"program\":0}\n";
+        let cfg = AuditConfig {
+            tolerate_truncation: true,
+            ..AuditConfig::default()
+        };
+        let r = audit_jsonl_str(lines, cfg).unwrap();
+        assert_eq!(r.warnings, 0);
+        let checks: Vec<_> = r.violations.iter().map(|v| v.check).collect();
+        assert_eq!(checks, vec!["disk-pairing", "pec-pairing"]);
+    }
+
+    #[test]
     fn flags_illegal_mode_entry() {
         // io_ratio below threshold: entering data_driven is illegal.
         let r = audit(
@@ -998,7 +1082,9 @@ mod tests {
              {\"t\":1.0,\"component\":\"a\",\"kind\":\"b\"}\n",
         );
         let json = r.to_json();
-        assert!(json.starts_with("{\"events\":2,\"ok\":false,\"violations\":[{\"index\":1,"));
+        assert!(
+            json.starts_with("{\"events\":2,\"warnings\":0,\"ok\":false,\"violations\":[{\"index\":1,")
+        );
         // The summary itself must parse with our own parser (it is flat
         // except for the violations array, so check the key bits).
         assert!(json.contains("\"check\":\"monotone-time\""));

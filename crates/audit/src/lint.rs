@@ -10,9 +10,10 @@
 //!   cache hot paths, where silently truncating an LBN or byte count is a
 //!   correctness bug;
 //! - unguarded `+`/`*` arithmetic on overflow-sensitive quantities (times,
-//!   deadlines, slices, LBNs, sector counts) in the disk schedulers, where
-//!   a wrapped deadline silently reorders the whole dispatch queue. Lines
-//!   using `checked_*`/`saturating_*`/`wrapping_*`/`abs_diff` or widening
+//!   deadlines, slices, LBNs, sector counts) in the disk schedulers and
+//!   the cluster engine, where a wrapped deadline silently reorders the
+//!   whole dispatch queue (or event loop). Lines using
+//!   `checked_*`/`saturating_*`/`wrapping_*`/`abs_diff` or widening
 //!   through `u128` are considered guarded.
 //!
 //! `#[cfg(test)]` items are skipped (the pass tracks the brace extent of
@@ -323,9 +324,9 @@ pub fn lint_workspace(root: &Path, allow: &AllowList) -> io::Result<Vec<LintFind
         let text = fs::read_to_string(&path)?;
         let slashed = slash_path(&path);
         let hot = slashed.contains("/disk/src/") || slashed.contains("/cache/src/");
-        let sched = slashed.contains("/disk/src/sched/");
+        let overflow = slashed.contains("/disk/src/sched/") || slashed.contains("/cluster/src/");
         findings.extend(
-            lint_source(&path, &text, hot, sched)
+            lint_source(&path, &text, hot, overflow)
                 .into_iter()
                 .filter(|f| !allow.permits(f)),
         );

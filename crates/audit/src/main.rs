@@ -2,9 +2,13 @@
 //! workspace.
 //!
 //! ```text
-//! dualpar-audit trace <trace.jsonl> [--json <out.json>]
+//! dualpar-audit trace <trace.jsonl> [--json <out.json>] [--tolerate-truncation]
 //! dualpar-audit lint [--root <dir>] [--allow <file>]
 //! ```
+//!
+//! `--tolerate-truncation` accepts ring-buffer traces whose oldest events
+//! were dropped (runs past `trace_capacity`): pairing errors explainable by
+//! the missing prefix are counted as warnings instead of violations.
 //!
 //! Exit status: 0 — clean; 1 — violations or lint findings; 2 — usage or
 //! I/O error.
@@ -15,7 +19,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dualpar-audit trace <trace.jsonl> [--json <out.json>]\n       dualpar-audit lint [--root <dir>] [--allow <file>]";
+const USAGE: &str = "usage: dualpar-audit trace <trace.jsonl> [--json <out.json>] [--tolerate-truncation]\n       dualpar-audit lint [--root <dir>] [--allow <file>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +46,7 @@ fn main() -> ExitCode {
 fn cmd_trace(args: &[String]) -> Result<bool, String> {
     let mut trace_path: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut cfg = AuditConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -50,6 +55,7 @@ fn cmd_trace(args: &[String]) -> Result<bool, String> {
                     it.next().ok_or("--json needs a path")?,
                 ));
             }
+            "--tolerate-truncation" => cfg.tolerate_truncation = true,
             _ if trace_path.is_none() => trace_path = Some(PathBuf::from(arg)),
             _ => return Err(USAGE.to_string()),
         }
@@ -57,7 +63,7 @@ fn cmd_trace(args: &[String]) -> Result<bool, String> {
     let trace_path = trace_path.ok_or(USAGE)?;
     let text = fs::read_to_string(&trace_path)
         .map_err(|e| format!("reading {}: {e}", trace_path.display()))?;
-    let report = audit_jsonl_str(&text, AuditConfig::default())
+    let report = audit_jsonl_str(&text, cfg)
         .map_err(|e| format!("{}: {e}", trace_path.display()))?;
     for v in &report.violations {
         println!(
@@ -72,9 +78,10 @@ fn cmd_trace(args: &[String]) -> Result<bool, String> {
         None => println!("{json}"),
     }
     eprintln!(
-        "dualpar-audit: {} events, {} violation(s)",
+        "dualpar-audit: {} events, {} violation(s), {} truncation warning(s)",
         report.events,
-        report.violations.len()
+        report.violations.len(),
+        report.warnings
     );
     Ok(report.ok())
 }

@@ -1,0 +1,170 @@
+//! Criterion benchmarks guarding the two data structures rebuilt for the
+//! slab-allocated hot path:
+//!
+//! * `group_slab` — generational-slab churn against the `FxHashMap` keyed
+//!   by monotonically growing ids it replaced in the cluster engine. The
+//!   workload mirrors the engine's lifecycle: insert a record per I/O
+//!   group, hit it a few times from sub-request completions, remove it.
+//! * `dispatch` — sorted-queue churn in the CFQ and anticipatory disk
+//!   schedulers with arrivals interleaved into dispatch. This is the bench
+//!   guard for the `Vec::remove` in their dispatch paths: selection relies
+//!   on `partition_point` over a queue kept sorted by `(lbn, id)`, so
+//!   removal must shift (a `swap_remove` would corrupt the order). If the
+//!   O(n) shift ever dominates, this group is where it shows.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dualpar_disk::{
+    AnticipatoryConfig, AnticipatoryScheduler, CfqConfig, CfqScheduler, Decision, DiskRequest,
+    IoCtx, IoKind, Scheduler,
+};
+use dualpar_sim::{FxHashMap, SimTime, Slab, SlabKey};
+use std::hint::black_box;
+
+/// Stand-in for the engine's `Group` record: big enough that moves are not
+/// free, small enough to stay realistic.
+#[derive(Clone, Copy)]
+struct Payload {
+    remaining: u64,
+    issued: u64,
+    stats: [u64; 4],
+}
+
+const CHURN: u64 = 4_096;
+/// Live records at steady state (the engine keeps a few dozen groups and a
+/// few hundred outstanding sub-requests in flight).
+const LIVE: usize = 256;
+
+fn bench_group_slab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_slab");
+    g.throughput(Throughput::Elements(CHURN));
+
+    // Insert → 3 hits → remove, with LIVE records resident throughout.
+    g.bench_function("slab_churn_4k", |b| {
+        b.iter(|| {
+            let mut slab: Slab<Payload> = Slab::with_capacity(LIVE);
+            let mut live: Vec<SlabKey> = Vec::with_capacity(LIVE);
+            let mut acc = 0u64;
+            for i in 0..CHURN {
+                let key = slab.insert(Payload {
+                    remaining: i,
+                    issued: i * 2,
+                    stats: [i; 4],
+                });
+                live.push(key);
+                for probe in 0..3u64 {
+                    let pick = ((i + probe).wrapping_mul(48271)) as usize % live.len();
+                    if let Some(p) = slab.get_mut(live[pick]) {
+                        p.remaining = p.remaining.wrapping_add(1);
+                        acc = acc.wrapping_add(p.issued);
+                    }
+                }
+                if live.len() >= LIVE {
+                    let pick = (i.wrapping_mul(2654435761)) as usize % live.len();
+                    let key = live.swap_remove(pick);
+                    acc = acc.wrapping_add(slab.remove(key).map_or(0, |p| p.stats[0]));
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    // The structure the slab replaced: same lifecycle, hash lookups keyed
+    // by ever-growing u64 ids.
+    g.bench_function("fxhashmap_churn_4k", |b| {
+        b.iter(|| {
+            let mut map: FxHashMap<u64, Payload> = FxHashMap::default();
+            let mut live: Vec<u64> = Vec::with_capacity(LIVE);
+            let mut acc = 0u64;
+            for i in 0..CHURN {
+                map.insert(
+                    i,
+                    Payload {
+                        remaining: i,
+                        issued: i * 2,
+                        stats: [i; 4],
+                    },
+                );
+                live.push(i);
+                for probe in 0..3u64 {
+                    let pick = ((i + probe).wrapping_mul(48271)) as usize % live.len();
+                    if let Some(p) = map.get_mut(&live[pick]) {
+                        p.remaining = p.remaining.wrapping_add(1);
+                        acc = acc.wrapping_add(p.issued);
+                    }
+                }
+                if live.len() >= LIVE {
+                    let pick = (i.wrapping_mul(2654435761)) as usize % live.len();
+                    let id = live.swap_remove(pick);
+                    acc = acc.wrapping_add(map.remove(&id).map_or(0, |p| p.stats[0]));
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    g.finish();
+}
+
+/// Drain a scheduler with arrivals interleaved so the sorted queue stays
+/// populated while dispatch keeps removing from arbitrary positions.
+fn churn_scheduler<S: Scheduler>(mut s: S, n: u64) -> u64 {
+    let mut next_id = 0u64;
+    let enqueue = |s: &mut S, id: u64| {
+        s.enqueue(DiskRequest::new(
+            id,
+            IoCtx((id % 8) as u32),
+            IoKind::Read,
+            (id.wrapping_mul(48271) % 100_000) * 64,
+            32,
+            SimTime::ZERO,
+        ));
+    };
+    // Pre-fill half so the first dispatches already shift a long queue.
+    for _ in 0..n / 2 {
+        enqueue(&mut s, next_id);
+        next_id += 1;
+    }
+    let mut now = SimTime::ZERO;
+    let mut head = 0;
+    loop {
+        match s.decide(now, head) {
+            Decision::Dispatch(r) => {
+                head = r.end();
+                if next_id < n {
+                    enqueue(&mut s, next_id);
+                    next_id += 1;
+                }
+            }
+            Decision::IdleUntil(t) => now = t,
+            Decision::Empty => break,
+        }
+    }
+    head
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch");
+    let n = 4_096u64;
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("cfq_interleaved_4k", |b| {
+        b.iter_batched(
+            || CfqScheduler::new(CfqConfig::default()),
+            |s| black_box(churn_scheduler(s, n)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("anticipatory_interleaved_4k", |b| {
+        b.iter_batched(
+            || AnticipatoryScheduler::new(AnticipatoryConfig::default()),
+            |s| black_box(churn_scheduler(s, n)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_group_slab, bench_dispatch);
+criterion_main!(benches);

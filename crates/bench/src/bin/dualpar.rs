@@ -20,6 +20,8 @@
 //!     --scale paper --out bench_results/BENCH_suite.json
 //! cargo run --release -p dualpar-bench --bin dualpar -- suite \
 //!     --verify-serial                 # re-run serially, compare reports
+//! cargo run --release -p dualpar-bench --bin dualpar -- suite \
+//!     --filter btio                   # only entries whose name matches
 //! ```
 //!
 //! A specification names the cluster configuration (all fields optional —
@@ -36,7 +38,9 @@
 //! }
 //! ```
 
-use dualpar_bench::suite::{builtin_suite, run_entry, run_parallel, summarize, Scale};
+use dualpar_bench::suite::{
+    builtin_suite, filter_entries, run_entry, run_parallel, summarize, Scale,
+};
 use dualpar_bench::{build_cluster, ExperimentSpec};
 use dualpar_cluster::TelemetryLevel;
 use std::time::Instant;
@@ -100,7 +104,7 @@ fn main() {
         eprintln!(
             "usage: dualpar <spec.json> [--telemetry off|counters|trace] [--trace <out.jsonl>]"
         );
-        eprintln!("       dualpar suite [--jobs N] [--scale small|paper] [--out <path>] [--verify-serial]");
+        eprintln!("       dualpar suite [--jobs N] [--scale small|paper] [--out <path>] [--filter <substr>] [--verify-serial]");
         eprintln!("       (or --example to print a spec template)");
         std::process::exit(2);
     };
@@ -188,14 +192,22 @@ fn run_suite_command(mut args: Vec<String>) {
     let out_path = take_flag(&mut args, "--out")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| dualpar_bench::results_dir().join("BENCH_suite.json"));
+    let filter = take_flag(&mut args, "--filter");
     let verify_serial = take_switch(&mut args, "--verify-serial");
-    reject_unknown_flags(&args, "--jobs, --scale, --out or --verify-serial");
+    reject_unknown_flags(&args, "--jobs, --scale, --out, --filter or --verify-serial");
     if args.len() > 1 {
         eprintln!("unexpected argument {:?}", args[1]);
         std::process::exit(2);
     }
 
-    let entries = builtin_suite(scale);
+    let mut entries = builtin_suite(scale);
+    if let Some(f) = &filter {
+        entries = filter_entries(entries, f);
+        if entries.is_empty() {
+            eprintln!("--filter {f:?} matches no suite entries");
+            std::process::exit(2);
+        }
+    }
     eprintln!("running {} experiments with --jobs {jobs}", entries.len());
     let t0 = Instant::now();
     let runs = run_parallel(&entries, jobs);

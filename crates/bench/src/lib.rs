@@ -17,10 +17,13 @@ pub mod experiments;
 pub mod spec;
 pub mod suite;
 
-pub use spec::{add_workload, build_cluster, ExperimentSpec, ProgramEntry, WorkloadSpec};
+pub use spec::{
+    add_workload, build_cluster, expected_cost, workload_cost, ExperimentSpec, ProgramEntry,
+    WorkloadSpec,
+};
 pub use suite::{
-    builtin_suite, parallel_map, run_entry, run_parallel, summarize, Scale, SuiteEntry, SuiteRun,
-    SuiteSummary,
+    builtin_suite, filter_entries, parallel_map, parallel_map_prioritized, run_entry, run_parallel,
+    summarize, Scale, SuiteEntry, SuiteRun, SuiteSummary,
 };
 
 /// `--jobs N` from the process arguments, defaulting to the machine's

@@ -111,6 +111,53 @@ pub fn add_workload(cluster: &mut Cluster, idx: usize, entry: &ProgramEntry) {
     );
 }
 
+/// Rough relative cost of simulating one workload: the estimated number
+/// of file requests it generates. Feeds the suite runner's
+/// longest-expected-first schedule, where only the *ordering* matters, so
+/// the proxies are deliberately crude — no attempt to model caching,
+/// merging, or contention.
+pub fn workload_cost(w: &WorkloadSpec) -> u64 {
+    match w {
+        WorkloadSpec::MpiIoTest(w) => w.file_size / w.request_size.max(1),
+        WorkloadSpec::Hpio(w) => w.nprocs as u64 * w.region_count,
+        WorkloadSpec::IorMpiIo(w) => w.file_size / w.request_size.max(1),
+        WorkloadSpec::Noncontig(w) => w.rows * w.nprocs as u64,
+        WorkloadSpec::S3asim(w) => w.queries * w.fragments.max(1) * w.nprocs as u64,
+        WorkloadSpec::Btio(w) => {
+            // BTIO's cell shrinks with the process count, so request count
+            // (dataset / cell) is what explodes — the suite's dominant run.
+            let passes = if w.verify { 2 } else { 1 };
+            passes * w.dataset / w.cell_bytes().max(1)
+        }
+        WorkloadSpec::Demo(w) => w.file_size / w.segment_size.max(1),
+        WorkloadSpec::DependentReader(w) => w.total_bytes / w.request_size.max(1),
+        WorkloadSpec::TraceReplay(w) => w.entries.len() as u64,
+    }
+}
+
+/// Relative event-count weight of an I/O strategy. Vanilla issues every
+/// region synchronously (one network + disk round trip each); DualPar
+/// aggregates whole phases into a few large batches, collapsing the event
+/// count by orders of magnitude.
+fn strategy_weight(s: IoStrategy) -> u64 {
+    match s {
+        IoStrategy::Vanilla => 8,
+        IoStrategy::PrefetchOverlap => 6,
+        IoStrategy::Collective => 4,
+        IoStrategy::DualPar | IoStrategy::DualParForced => 1,
+    }
+}
+
+/// Expected relative simulation cost of a whole experiment, for
+/// longest-expected-first scheduling. Never zero.
+pub fn expected_cost(spec: &ExperimentSpec) -> u64 {
+    spec.programs
+        .iter()
+        .map(|p| workload_cost(&p.workload).max(1) * strategy_weight(p.strategy))
+        .sum::<u64>()
+        .max(1)
+}
+
 /// Build a ready-to-run cluster from a spec. Purely a function of the
 /// spec: building the same spec twice yields clusters that simulate
 /// identically (the determinism tests rely on this).

@@ -7,13 +7,24 @@
 //! guarantee: every run produces a byte-identical serialized report and
 //! event trace regardless of `jobs` — only the wall-clock numbers vary.
 //!
-//! The pool is built from std primitives alone: workers claim entry
-//! indices from an [`AtomicUsize`] and deliver `(index, result)` over an
-//! [`mpsc`] channel, so no locks are held anywhere (the workspace lint
-//! bans `std::sync::Mutex`, and the claim/deliver pattern does not want
-//! one anyway). Results are re-ordered by input index before returning.
+//! The pool is built from std primitives alone: workers claim entries
+//! from a shared work queue (an [`AtomicUsize`] cursor over a claim-order
+//! permutation) and deliver `(original_index, result)` over an [`mpsc`]
+//! channel, so no locks are held anywhere (the workspace lint bans
+//! `std::sync::Mutex`, and the claim/deliver pattern does not want one
+//! anyway). Results are re-ordered by input index before returning.
+//!
+//! [`run_parallel`] claims in *longest-expected-first* order
+//! ([`crate::spec::expected_cost`]): the dominant run (`btio_vanilla`,
+//! ~65 % of the suite's serial wall) starts immediately while idle workers
+//! steal the remaining entries off the shared queue behind it, instead of
+//! discovering it last and serializing the tail. Claim order changes
+//! *which worker* runs an entry and *when* — never the entry's private
+//! simulation — so reports and traces stay byte-identical at every
+//! `--jobs` level, including `--jobs 1` (which short-circuits to a plain
+//! serial map).
 
-use crate::spec::{build_cluster, ExperimentSpec, ProgramEntry, WorkloadSpec};
+use crate::spec::{build_cluster, expected_cost, ExperimentSpec, ProgramEntry, WorkloadSpec};
 use dualpar_cluster::prelude::IoKind;
 use dualpar_cluster::{IoStrategy, RunReport, TelemetryLevel};
 use dualpar_sim::FxHasher;
@@ -92,24 +103,72 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let order: Vec<usize> = (0..items.len()).collect();
+    parallel_map_in_claim_order(items, jobs, &order, f)
+}
+
+/// Like [`parallel_map`], but with priorities: workers claim items in
+/// descending `priority` order (ties break toward the earlier index).
+/// Results still come back in *input* order — the priority only decides
+/// when each item starts, which is what makes longest-first scheduling
+/// safe for byte-identity guarantees.
+pub fn parallel_map_prioritized<T, R, F>(items: &[T], jobs: usize, priority: &[u64], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert_eq!(
+        priority.len(),
+        items.len(),
+        "one priority per item required"
+    );
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    // Stable sort: equal priorities keep their input order.
+    order.sort_by_key(|&i| std::cmp::Reverse(priority[i]));
+    parallel_map_in_claim_order(items, jobs, &order, f)
+}
+
+/// The shared work queue underneath both maps: `claim_order` is the queue
+/// content (a permutation of the item indices); workers steal the next
+/// unclaimed position with a single `fetch_add` on the cursor. `jobs <= 1`
+/// degenerates to a plain serial map over `items` in input order (no pool,
+/// identical results by construction — per-item work is independent, so
+/// claim order cannot change any result).
+///
+/// A panicking worker propagates its panic out of this call after the
+/// scope joins — no result is silently dropped.
+fn parallel_map_in_claim_order<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    claim_order: &[usize],
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    debug_assert_eq!(claim_order.len(), items.len());
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let next = AtomicUsize::new(0);
+    let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     std::thread::scope(|s| {
         for _ in 0..jobs {
             let tx = tx.clone();
-            let next = &next;
+            let cursor = &cursor;
             let f = &f;
             s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
+                let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                if pos >= claim_order.len() {
                     break;
                 }
+                let i = claim_order[pos];
                 // The receiver outlives the scope, so send only fails if
                 // the parent already panicked; stopping is then correct.
                 if tx.send((i, f(i, &items[i]))).is_err() {
@@ -130,10 +189,25 @@ where
         .collect()
 }
 
-/// Run a whole suite, `jobs` entries at a time. Entry `i` of the result
-/// corresponds to entry `i` of the input, whatever order they finished in.
+/// Run a whole suite, `jobs` entries at a time, claiming entries in
+/// longest-expected-first order so the dominant run never serializes the
+/// tail. Entry `i` of the result corresponds to entry `i` of the input,
+/// whatever order they started or finished in.
 pub fn run_parallel(entries: &[SuiteEntry], jobs: usize) -> Vec<SuiteRun> {
-    parallel_map(entries, jobs, |_, e| run_entry(e))
+    let costs: Vec<u64> = entries.iter().map(|e| expected_cost(&e.spec)).collect();
+    parallel_map_prioritized(entries, jobs, &costs, |_, e| run_entry(e))
+}
+
+/// Keep the entries whose name contains `filter` (substring match), in
+/// their original order. An empty filter keeps everything.
+pub fn filter_entries(entries: Vec<SuiteEntry>, filter: &str) -> Vec<SuiteEntry> {
+    if filter.is_empty() {
+        return entries;
+    }
+    entries
+        .into_iter()
+        .filter(|e| e.name.contains(filter))
+        .collect()
 }
 
 /// Short stable fingerprint of a serialized report, for summaries and
@@ -358,6 +432,50 @@ mod tests {
         }
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn prioritized_map_runs_everything_in_input_order() {
+        let items: Vec<u64> = (0..23).collect();
+        // Priorities deliberately reverse the input order; results must
+        // still come back in input order at every jobs level.
+        let priority: Vec<u64> = (0..23).map(|i| 100 - i).collect();
+        for jobs in [1, 2, 4, 16] {
+            let out = parallel_map_prioritized(&items, jobs, &priority, |i, &x| {
+                assert_eq!(i as u64, x);
+                x + 1
+            });
+            assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn suite_costs_put_btio_vanilla_first() {
+        // The LPT schedule only helps if the estimator actually ranks the
+        // dominant run first; pin that (btio_vanilla is ~65 % of the
+        // small suite's serial wall in bench_results/BENCH_suite.json).
+        let entries = builtin_suite(Scale::Small);
+        let costs: Vec<(String, u64)> = entries
+            .iter()
+            .map(|e| (e.name.clone(), crate::spec::expected_cost(&e.spec)))
+            .collect();
+        let max = costs.iter().max_by_key(|(_, c)| *c).expect("non-empty");
+        assert_eq!(max.0, "btio_vanilla", "costs: {costs:?}");
+        // Sanity: every entry has a nonzero cost so the sort is total.
+        assert!(costs.iter().all(|(_, c)| *c > 0));
+    }
+
+    #[test]
+    fn filter_entries_matches_substrings() {
+        let entries = builtin_suite(Scale::Small);
+        let total = entries.len();
+        let mpiio = filter_entries(builtin_suite(Scale::Small), "mpiio");
+        assert_eq!(mpiio.len(), 2);
+        assert!(mpiio.iter().all(|e| e.name.contains("mpiio")));
+        let all = filter_entries(builtin_suite(Scale::Small), "");
+        assert_eq!(all.len(), total);
+        let none = filter_entries(entries, "no_such_entry");
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -39,13 +39,15 @@ impl Cluster {
             .iter()
             .all(|r| self.cache.contains(call.file, *r));
         if all_present {
-            let mut homes = Vec::new();
+            let mut homes = std::mem::take(&mut self.homes_scratch);
+            homes.clear();
             for r in &call.regions {
                 let res = self.cache.read(call.file, *r, now);
                 homes.extend(res.homes);
             }
             let latency = self.cache_access_time(node, &homes);
-            let done = now + latency;
+            self.homes_scratch = homes;
+            let done = now.saturating_add(latency);
             self.procs[p].state = PState::Computing;
             // Account the op at its completion instant.
             let bytes = call.bytes();
@@ -54,7 +56,7 @@ impl Cluster {
             self.procs[p].last_io_end = done;
             self.procs[p].pos += 1;
             let prog = self.procs[p].prog;
-            self.programs[prog].io_time += dur;
+            self.programs[prog].io_time = self.programs[prog].io_time.saturating_add(dur);
             self.programs[prog].bytes_read += bytes;
             self.tele.count("io.bytes_read", bytes);
             self.timeline.record(done, bytes as f64);
@@ -77,19 +79,21 @@ impl Cluster {
     fn dd_write(&mut self, now: SimTime, p: usize, call: &IoCall) {
         let node = self.procs[p].node;
         let owner = self.procs[p].owner;
-        let mut homes = Vec::new();
+        let mut homes = std::mem::take(&mut self.homes_scratch);
+        homes.clear();
         for r in &call.regions {
             homes.extend(self.cache.put_write(owner, call.file, *r, now));
         }
         let latency = self.cache_access_time(node, &homes);
-        let done = now + latency;
+        self.homes_scratch = homes;
+        let done = now.saturating_add(latency);
         let bytes = call.bytes();
         let dur = done.since(self.procs[p].op_start);
         self.procs[p].clock.record_io(dur, bytes);
         self.procs[p].last_io_end = done;
         self.procs[p].pos += 1;
         let prog = self.procs[p].prog;
-        self.programs[prog].io_time += dur;
+        self.programs[prog].io_time = self.programs[prog].io_time.saturating_add(dur);
         self.programs[prog].bytes_written += bytes;
         self.tele.count("io.bytes_written", bytes);
         self.tele
@@ -211,7 +215,7 @@ impl Cluster {
         };
         let ev = self
             .queue
-            .schedule(at + ghost_time, Ev::GhostDone { prog, proc: p });
+            .schedule(at.saturating_add(ghost_time), Ev::GhostDone { prog, proc: p });
         self.procs[p].ghost_ev = Some(ev);
     }
 
@@ -362,7 +366,7 @@ impl Cluster {
         &mut self,
         now: SimTime,
         prog: usize,
-        group: u64,
+        group: dualpar_sim::SlabKey,
         kind: IoKind,
         covers: &[(FileId, FileRegion)],
     ) {
@@ -434,7 +438,7 @@ impl Cluster {
                 self.procs[p].clock.record_io(dur, bytes);
                 self.procs[p].last_io_end = now;
                 self.procs[p].phase_bytes = 0;
-                self.programs[prog].io_time += dur;
+                self.programs[prog].io_time = self.programs[prog].io_time.saturating_add(dur);
                 self.procs[p].state = PState::Computing;
                 self.tele.event(now.as_secs_f64(), "pec", "resume", |e| {
                     e.u64("proc", p as u64).u64("program", prog as u64)
@@ -497,13 +501,15 @@ impl Cluster {
             .filter(|r| !self.cache.contains(call.file, *r))
             .collect();
         if missing.is_empty() {
-            let mut homes = Vec::new();
+            let mut homes = std::mem::take(&mut self.homes_scratch);
+            homes.clear();
             for r in &call.regions {
                 let res = self.cache.read(call.file, *r, now);
                 homes.extend(res.homes);
             }
             let latency = self.cache_access_time(node, &homes);
-            let done = now + latency;
+            self.homes_scratch = homes;
+            let done = now.saturating_add(latency);
             self.procs[p].state = PState::Computing;
             let bytes = call.bytes();
             let dur = done.since(self.procs[p].op_start);
@@ -511,7 +517,7 @@ impl Cluster {
             self.procs[p].last_io_end = done;
             self.procs[p].pos += 1;
             let prog = self.procs[p].prog;
-            self.programs[prog].io_time += dur;
+            self.programs[prog].io_time = self.programs[prog].io_time.saturating_add(dur);
             self.programs[prog].bytes_read += bytes;
             self.tele.count("io.bytes_read", bytes);
             self.timeline.record(done, bytes as f64);

@@ -10,7 +10,7 @@ use dualpar_core::{DualParConfig, Emc, ExecMode, IoClock, ProgramId, ReqDistTrac
 use dualpar_disk::{Disk, DiskRequest, IoCtx, IoKind, Lbn, StartOutcome};
 use dualpar_mpiio::{CoalescedIo, ProcessScript};
 use dualpar_pfs::{FileId, FileRegion, Pvfs};
-use dualpar_sim::{EventId, EventQueue, Link, SimDuration, SimTime, TimeSeries};
+use dualpar_sim::{EventId, EventQueue, Link, SimDuration, SimTime, Slab, SlabKey, TimeSeries};
 use dualpar_telemetry::Telemetry;
 use dualpar_sim::{FxHashMap, FxHashSet};
 use std::collections::HashSet;
@@ -32,7 +32,7 @@ pub(crate) enum Ev {
     /// A disk finished its in-flight request.
     DiskDone(u32),
     /// A response was delivered back; one sub-request of a group is done.
-    SubDone { group: u64 },
+    SubDone { group: SlabKey },
     /// A ghost pre-execution finished its walk.
     GhostDone { prog: usize, proc: usize },
     /// A pre-execution phase hit its fill-time bound.
@@ -102,6 +102,17 @@ pub(crate) struct Group {
     pub purpose: Purpose,
     /// When the group was opened (for completion-latency histograms).
     pub opened: SimTime,
+}
+
+/// Side-table record for one in-flight sub-request, held in a slab keyed
+/// by the sub-request id itself (the id *is* the raw slab key, so server
+/// completion resolves it with one indexed load instead of a hash probe).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReqInfo {
+    /// The completion group this sub-request belongs to.
+    pub group: SlabKey,
+    /// Response payload size (data for reads, zero for writes).
+    pub resp_bytes: u64,
 }
 
 /// Process execution state.
@@ -231,10 +242,8 @@ pub struct Cluster {
     pub(crate) req_dist: Vec<ReqDistTracker>,
     pub(crate) procs: Vec<Proc>,
     pub(crate) programs: Vec<Program>,
-    pub(crate) groups: FxHashMap<u64, Group>,
-    pub(crate) next_group: u64,
-    pub(crate) req_info: FxHashMap<u64, (u64, u64)>, // sub id -> (group, resp_bytes)
-    pub(crate) next_req: u64,
+    pub(crate) groups: Slab<Group>,
+    pub(crate) req_info: Slab<ReqInfo>, // sub id == raw slab key
     pub(crate) s2_inflight: FxHashMap<(u32, u64, u64), Vec<usize>>,
     /// Per-server buffered (acknowledged, unflushed) write requests, used
     /// in the WriteBack server mode.
@@ -251,6 +260,15 @@ pub struct Cluster {
     pub(crate) emc_active: bool,
     pub(crate) next_ctx: u32,
     pub(crate) tele: Telemetry,
+    /// Epoch-stamped scratch for [`Cluster::cache_access_time`]: per-node
+    /// byte accumulators that survive across calls so the hot path never
+    /// allocates. A stamp older than `cat_epoch` means "logically zero".
+    cat_bytes: Vec<u64>,
+    cat_stamp: Vec<u64>,
+    cat_epoch: u64,
+    /// Reusable buffer for the `(home, bytes)` lists the data-driven paths
+    /// feed into `cache_access_time` (taken and returned around each use).
+    pub(crate) homes_scratch: Vec<(NodeId, u64)>,
 }
 
 // The parallel suite runner builds and runs whole clusters on scoped worker
@@ -291,6 +309,7 @@ impl Cluster {
         let rng = dualpar_sim::DetRng::for_stream(cfg.seed, "cluster");
         let tele = Telemetry::new(&cfg.telemetry);
         let nservers = cfg.num_data_servers as usize;
+        let nnodes = cfg.num_compute_nodes as usize;
         Cluster {
             cfg,
             queue: EventQueue::new(),
@@ -304,10 +323,8 @@ impl Cluster {
             req_dist,
             procs: Vec::new(),
             programs: Vec::new(),
-            groups: FxHashMap::default(),
-            next_group: 0,
-            req_info: FxHashMap::default(),
-            next_req: 0,
+            groups: Slab::with_capacity(64),
+            req_info: Slab::with_capacity(256),
             s2_inflight: FxHashMap::default(),
             server_dirty: vec![Vec::new(); nservers],
             server_flush_scheduled: vec![false; nservers],
@@ -320,6 +337,10 @@ impl Cluster {
             emc_active: false,
             next_ctx: 1,
             tele,
+            cat_bytes: vec![0; nnodes],
+            cat_stamp: vec![0; nnodes],
+            cat_epoch: 0,
+            homes_scratch: Vec::new(),
         }
     }
 
@@ -474,42 +495,47 @@ impl Cluster {
     /// node and the cache. Accesses are batched per home node (a Memcached
     /// multi-get/multi-set): one round trip per distinct remote node plus
     /// the transfer volume, memory-copy cost for local chunks.
-    pub(crate) fn cache_access_time(&self, node: u32, homes: &[(NodeId, u64)]) -> SimDuration {
+    pub(crate) fn cache_access_time(&mut self, node: u32, homes: &[(NodeId, u64)]) -> SimDuration {
         let mut t = SimDuration::from_micros(1);
         let mut local = 0u64;
         // Dense per-node accumulator: node ids are small contiguous
-        // integers, so indexing beats hashing on this per-access path.
-        // `Some(0)` still charges the round trip — a touched remote node
-        // costs its latency even for an empty payload.
-        let mut remote: Vec<Option<u64>> = vec![None; self.node_links.len()];
+        // integers, so indexing beats hashing on this per-access path. The
+        // accumulators persist across calls, stamped with a per-call epoch —
+        // a stale stamp reads as "untouched", so there is nothing to clear
+        // and the whole batch charge runs allocation-free. A touched remote
+        // node costs its round-trip latency even for an empty payload.
+        self.cat_epoch += 1;
+        let epoch = self.cat_epoch;
         for &(home, bytes) in homes {
             if home.0 == node {
                 local += bytes;
             } else {
-                *remote[home.0 as usize].get_or_insert(0) += bytes;
+                let i = home.0 as usize;
+                if self.cat_stamp[i] != epoch {
+                    self.cat_stamp[i] = epoch;
+                    self.cat_bytes[i] = 0;
+                }
+                self.cat_bytes[i] += bytes;
             }
         }
         t += SimDuration::for_transfer(local, self.cfg.mem_bandwidth);
-        for bytes in remote.into_iter().flatten() {
-            t += self.cfg.net_latency + SimDuration::for_transfer(bytes, self.cfg.net_bandwidth);
+        for i in 0..self.cat_stamp.len() {
+            if self.cat_stamp[i] == epoch {
+                t += self.cfg.net_latency
+                    + SimDuration::for_transfer(self.cat_bytes[i], self.cfg.net_bandwidth);
+            }
         }
         t
     }
 
     /// Allocate a completion group.
-    pub(crate) fn new_group(&mut self, purpose: Purpose) -> u64 {
-        let id = self.next_group;
-        self.next_group += 1;
+    pub(crate) fn new_group(&mut self, purpose: Purpose) -> SlabKey {
         let opened = self.queue.now();
-        self.groups.insert(
-            id,
-            Group {
-                remaining: 0,
-                purpose,
-                opened,
-            },
-        );
-        id
+        self.groups.insert(Group {
+            remaining: 0,
+            purpose,
+            opened,
+        })
     }
 
     /// Issue the accesses of `ios` (already coalesced covers) to the data
@@ -518,7 +544,7 @@ impl Cluster {
     pub(crate) fn issue_covers(
         &mut self,
         now: SimTime,
-        group: u64,
+        group: SlabKey,
         node: u32,
         ctx: IoCtx,
         kind: IoKind,
@@ -531,15 +557,15 @@ impl Cluster {
             }
         }
         let n = subs.len();
-        self.groups.get_mut(&group).expect("group exists").remaining += n;
+        self.groups.get_mut(group).expect("group exists").remaining += n;
         for (server, lbn, sectors, bytes) in subs {
-            let id = self.next_req;
-            self.next_req += 1;
             let (req_msg, resp_bytes) = match kind {
                 IoKind::Read => (self.cfg.msg_header, bytes),
                 IoKind::Write => (self.cfg.msg_header + bytes, 0),
             };
-            self.req_info.insert(id, (group, resp_bytes));
+            // The sub-request id *is* the raw slab key of its side-table
+            // record, so completion resolves it with one indexed load.
+            let id = self.req_info.insert(ReqInfo { group, resp_bytes }).raw();
             let deliver = self.node_links[node as usize].send(now, req_msg);
             self.queue.schedule(
                 deliver,
@@ -560,9 +586,9 @@ impl Cluster {
 
     /// If the group is already complete (zero sub-requests), dispatch its
     /// purpose immediately via a SubDone-like path.
-    pub(crate) fn finish_if_empty(&mut self, now: SimTime, group: u64) {
-        if self.groups.get(&group).is_some_and(|g| g.remaining == 0) {
-            let g = self.groups.remove(&group).expect("checked");
+    pub(crate) fn finish_if_empty(&mut self, now: SimTime, group: SlabKey) {
+        if self.groups.get(group).is_some_and(|g| g.remaining == 0) {
+            let g = self.groups.remove(group).expect("checked");
             self.dispatch_group(now, g);
         }
     }
@@ -674,16 +700,17 @@ impl Cluster {
                 if buffer_write {
                     // Acknowledge immediately; the flush daemon owns the
                     // disk write from here.
-                    if let Some((group, resp_bytes)) = self.req_info.remove(&sub.id) {
+                    if let Some(info) = self.req_info.remove(SlabKey::from_raw(sub.id)) {
                         let deliver = self.server_links[server as usize]
-                            .send(now, self.cfg.msg_header + resp_bytes);
-                        self.queue.schedule(deliver, Ev::SubDone { group });
+                            .send(now, self.cfg.msg_header.saturating_add(info.resp_bytes));
+                        self.queue
+                            .schedule(deliver, Ev::SubDone { group: info.group });
                     }
                     self.server_dirty[server as usize].push(req);
                     if !self.server_flush_scheduled[server as usize] {
                         self.server_flush_scheduled[server as usize] = true;
                         self.queue.schedule(
-                            now + self.cfg.server_flush_interval,
+                            now.saturating_add(self.cfg.server_flush_interval),
                             Ev::ServerFlush(server),
                         );
                     }
@@ -728,27 +755,31 @@ impl Cluster {
                 self.tele.event(now.as_secs_f64(), "disk", "done", |e| {
                     e.u64("server", server as u64).u64("id", req.id)
                 });
-                for id in &req.merged {
-                    if let Some((group, resp_bytes)) = self.req_info.remove(id) {
+                for &id in &req.merged {
+                    // A write-back flush can replay ids already retired at
+                    // ack time; the slab's generation check turns those
+                    // stale lookups into clean misses.
+                    if let Some(info) = self.req_info.remove(SlabKey::from_raw(id)) {
                         let deliver = self.server_links[server as usize]
-                            .send(now, self.cfg.msg_header + resp_bytes);
-                        self.queue.schedule(deliver, Ev::SubDone { group });
+                            .send(now, self.cfg.msg_header.saturating_add(info.resp_bytes));
+                        self.queue
+                            .schedule(deliver, Ev::SubDone { group: info.group });
                     }
                 }
                 self.kick_disk(now, server);
             }
             Ev::SubDone { group } => {
                 let done = {
-                    let g = self.groups.get_mut(&group).expect("live group");
+                    let g = self.groups.get_mut(group).expect("live group");
                     dualpar_sim::strict_assert!(
                         g.remaining > 0,
-                        "SubDone for group {group} with no outstanding sub-requests"
+                        "SubDone for group {group:?} with no outstanding sub-requests"
                     );
                     g.remaining -= 1;
                     g.remaining == 0
                 };
                 if done {
-                    let g = self.groups.remove(&group).expect("checked");
+                    let g = self.groups.remove(group).expect("checked");
                     self.dispatch_group(now, g);
                 }
             }
@@ -868,7 +899,7 @@ impl Cluster {
             .any(|p| p.strategy == IoStrategy::DualPar && p.finish.is_none());
         if live {
             let slot = self.cfg.dualpar.sample_slot;
-            self.queue.schedule(now + slot, Ev::EmcTick);
+            self.queue.schedule(now.saturating_add(slot), Ev::EmcTick);
         } else {
             self.emc_active = false;
         }

@@ -29,7 +29,7 @@ impl Cluster {
                         continue;
                     }
                     self.procs[p].state = PState::Computing;
-                    self.queue.schedule(now + *d, Ev::ProcReady(p));
+                    self.queue.schedule(now.saturating_add(*d), Ev::ProcReady(p));
                     return;
                 }
                 Op::Barrier(id) => {
@@ -176,7 +176,7 @@ impl Cluster {
         self.procs[p].cur_covers.clear();
         let prog = self.procs[p].prog;
         let program = &mut self.programs[prog];
-        program.io_time += dur;
+        program.io_time = program.io_time.saturating_add(dur);
         match call.kind {
             IoKind::Read => program.bytes_read += bytes,
             IoKind::Write => program.bytes_written += bytes,
@@ -271,8 +271,8 @@ impl Cluster {
         let exchange = SimDuration(self.cfg.net_latency.nanos() * rounds)
             + SimDuration::for_transfer(per_node, self.cfg.net_bandwidth);
         let group = self.new_group(Purpose::CollResume { prog });
-        self.groups.get_mut(&group).expect("new group").remaining = 1;
-        self.queue.schedule(now + exchange, Ev::SubDone { group });
+        self.groups.get_mut(group).expect("new group").remaining = 1;
+        self.queue.schedule(now.saturating_add(exchange), Ev::SubDone { group });
     }
 
     pub(crate) fn coll_resume(&mut self, now: SimTime, prog: usize) {
@@ -291,7 +291,7 @@ impl Cluster {
             self.procs[p].clock.record_io(dur, bytes);
             self.procs[p].last_io_end = now;
             self.procs[p].pos += 1;
-            self.programs[prog].io_time += dur;
+            self.programs[prog].io_time = self.programs[prog].io_time.saturating_add(dur);
             self.procs[p].state = PState::Computing;
             self.queue.schedule(now, Ev::ProcReady(p));
         }

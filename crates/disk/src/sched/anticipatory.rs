@@ -61,6 +61,12 @@ impl AnticipatoryScheduler {
     fn pop_elevator(&mut self, head: Lbn) -> DiskRequest {
         let idx = self.sorted.partition_point(|r| r.lbn < head);
         let idx = if idx == self.sorted.len() { 0 } else { idx };
+        // The shifting `remove` is load-bearing: `partition_point` here and
+        // in `absorb_contiguous` requires `sorted` to stay ordered by
+        // `(lbn, id)`, so a `swap_remove` would corrupt C-SCAN selection
+        // and merge lookups. At realistic depths (tens of requests) the
+        // shift is a short memmove; the `dispatch` criterion group in
+        // `crates/bench/benches/hot_path.rs` guards against it regressing.
         self.sorted.remove(idx)
     }
 }

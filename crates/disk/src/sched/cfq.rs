@@ -93,6 +93,13 @@ impl CtxQueue {
         }
         let idx = self.sorted.partition_point(|r| r.lbn < head);
         let idx = if idx == self.sorted.len() { 0 } else { idx };
+        // Must be the shifting `remove`, not `swap_remove`: the
+        // `partition_point` C-SCAN pick above and the merge probes in
+        // `absorb_contiguous` both assume `sorted` stays ordered by
+        // `(lbn, id)`. Per-context queues are short (slice quantum bounds
+        // them), so the shift is a small memmove; the `dispatch` criterion
+        // group in `crates/bench/benches/hot_path.rs` is the regression
+        // guard.
         Some(self.sorted.remove(idx))
     }
 

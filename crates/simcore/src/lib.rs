@@ -7,7 +7,8 @@
 //! * [`event`] — a stable-FIFO future-event list with cancellation;
 //! * [`rng`] — labelled deterministic random streams;
 //! * [`stats`] — online statistics, time series, exact percentiles;
-//! * [`resource`] — FIFO resources and latency/bandwidth links.
+//! * [`resource`] — FIFO resources and latency/bandwidth links;
+//! * [`slab`] — generational slab storage with stale-handle detection.
 //!
 //! Everything is single-threaded and allocation-conscious; determinism is a
 //! hard guarantee (same seed ⇒ bit-identical run), which the property tests
@@ -17,6 +18,7 @@ pub mod event;
 pub mod hash;
 pub mod resource;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
@@ -51,5 +53,6 @@ pub use event::{EventId, EventQueue};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use resource::{FifoResource, Link};
 pub use rng::DetRng;
+pub use slab::{Slab, SlabKey};
 pub use stats::{OnlineStats, Samples, TimeSeries};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

@@ -144,6 +144,14 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
+    /// Saturating `self + other`, pinned at the maximum representable
+    /// duration on overflow. Use for open-ended accumulators (per-program
+    /// I/O-time sums) where a pathological run must clamp rather than wrap.
+    #[inline]
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
     #[inline]
     pub fn mul_f64(self, k: f64) -> SimDuration {
         debug_assert!(k >= 0.0);

@@ -1,7 +1,8 @@
 //! Property tests for the DES engine invariants promised in DESIGN.md §7.
 
-use dualpar_sim::{DetRng, EventQueue, FifoResource, OnlineStats, SimDuration, SimTime};
+use dualpar_sim::{DetRng, EventQueue, FifoResource, OnlineStats, SimDuration, SimTime, Slab};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 proptest! {
     /// Events always pop in nondecreasing time order, and every live event
@@ -74,6 +75,43 @@ proptest! {
         let mut b = DetRng::for_stream(seed, &label);
         for _ in 0..n {
             prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Generational slab: under any interleaving of inserts and removes,
+    /// live keys always resolve to their own value, and a removed key is
+    /// dead forever — even after its slot is recycled, the stale key is
+    /// detected (returns `None`) rather than aliasing the new occupant.
+    /// Raw key values are never repeated, so ids derived from them
+    /// (sub-request ids in the cluster engine) can't collide either.
+    #[test]
+    fn slab_stale_keys_never_alias(ops in proptest::collection::vec((any::<bool>(), 0u16..64), 1..300)) {
+        let mut slab: Slab<u64> = Slab::new();
+        let mut live: Vec<(dualpar_sim::SlabKey, u64)> = Vec::new();
+        let mut dead: Vec<dualpar_sim::SlabKey> = Vec::new();
+        let mut raws: HashMap<u64, ()> = HashMap::new();
+        let mut next_val = 0u64;
+        for &(is_insert, pick) in &ops {
+            if is_insert || live.is_empty() {
+                let key = slab.insert(next_val);
+                prop_assert!(raws.insert(key.raw(), ()).is_none(), "raw key reused");
+                live.push((key, next_val));
+                next_val += 1;
+            } else {
+                let (key, val) = live.swap_remove(pick as usize % live.len());
+                prop_assert_eq!(slab.remove(key), Some(val));
+                dead.push(key);
+            }
+            // Every live key still maps to its own value...
+            for &(key, val) in &live {
+                prop_assert_eq!(slab.get(key).copied(), Some(val));
+            }
+            // ...and every dead key stays dead, recycled slot or not.
+            for &key in &dead {
+                prop_assert!(slab.get(key).is_none(), "stale key resolved");
+                prop_assert!(!slab.contains(key));
+            }
+            prop_assert_eq!(slab.len(), live.len());
         }
     }
 

@@ -24,6 +24,11 @@ cargo run --release --offline -q -p dualpar-bench --example interference -- \
     --small --trace "$golden"
 ./target/release/dualpar-audit trace "$golden"
 
+# Criterion smoke: run each hot-path benchmark body once (`--test` mode of
+# the vendored criterion stub) so a bench-only compile break or panic fails
+# the gate without paying for timed samples.
+cargo bench --offline -p dualpar-bench --bench hot_path -- --test
+
 # Suite smoke: the parallel runner over the small figure-set suite, with
 # the serial-twin determinism check (exits non-zero on any byte-level
 # report divergence between --jobs N and serial). Timed so engine-speed

@@ -92,6 +92,42 @@ fn worker_thread_trace_passes_interference_audit() {
 }
 
 #[test]
+fn truncated_ring_trace_passes_audit_with_tolerance() {
+    // btio_vanilla overruns the 64Ki-event trace ring, so its captured
+    // trace is a suffix: the oldest dispatches are evicted while their
+    // completions survive. The default audit rightly rejects that; the
+    // truncation-tolerant audit must accept it, counting the orphaned
+    // prefix pairings as warnings instead.
+    let entries: Vec<_> = traced_small_suite()
+        .into_iter()
+        .filter(|e| e.name == "btio_vanilla")
+        .collect();
+    assert_eq!(entries.len(), 1);
+    let run = run_entry(&entries[0]);
+    let trace = run.trace_jsonl.as_ref().expect("trace captured");
+    let strict = audit_jsonl_str(trace, AuditConfig::default()).expect("trace parses");
+    assert!(
+        !strict.ok(),
+        "expected the truncated ring to trip the strict audit"
+    );
+    let tolerant_cfg = AuditConfig {
+        tolerate_truncation: true,
+        ..AuditConfig::default()
+    };
+    let tolerant = audit_jsonl_str(trace, tolerant_cfg).expect("trace parses");
+    assert!(
+        tolerant.ok(),
+        "tolerant audit still found violations: {:?}",
+        tolerant.violations
+    );
+    assert!(
+        tolerant.warnings > 0,
+        "truncated prefix should surface as counted warnings"
+    );
+    assert_eq!(strict.violations.len(), tolerant.warnings);
+}
+
+#[test]
 fn run_entry_matches_pooled_twin_for_every_small_entry() {
     // Full small suite, one pooled pass against per-entry serial twins:
     // the exact check `dualpar suite --verify-serial` performs.

@@ -6,6 +6,11 @@
 //! (plus derived throughput when configured). No statistics, plotting, or
 //! baseline storage — just honest wall-clock numbers, so `cargo bench`
 //! works offline.
+//!
+//! Passing `--test` on the bench binary's command line (real criterion's
+//! smoke-test flag, e.g. `cargo bench -- --test`) runs every benchmark
+//! body exactly once without timing and prints `ok` per benchmark — CI can
+//! prove the benches still compile and run without paying for samples.
 
 use std::time::{Duration, Instant};
 
@@ -31,17 +36,29 @@ pub enum Throughput {
 }
 
 /// Top-level benchmark driver.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let smoke = self.smoke;
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
             samples: 20,
             throughput: None,
+            smoke,
         }
     }
 }
@@ -52,6 +69,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     samples: u32,
     throughput: Option<Throughput>,
+    smoke: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -69,7 +87,13 @@ impl BenchmarkGroup<'_> {
 
     /// Run one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { best: Duration::MAX, samples: self.samples };
+        if self.smoke {
+            let mut b = Bencher { best: Duration::MAX, samples: 0, smoke: true };
+            f(&mut b);
+            println!("{}/{id}: ok (smoke)", self.name);
+            return self;
+        }
+        let mut b = Bencher { best: Duration::MAX, samples: self.samples, smoke: false };
         f(&mut b);
         let ns = b.best.as_nanos();
         match self.throughput {
@@ -94,11 +118,16 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     best: Duration,
     samples: u32,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Time `f`, keeping the best sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            std::hint::black_box(f());
+            return;
+        }
         // Warm-up.
         for _ in 0..2 {
             std::hint::black_box(f());
@@ -120,6 +149,9 @@ impl Bencher {
         R: FnMut(I) -> O,
     {
         std::hint::black_box(routine(setup()));
+        if self.smoke {
+            return;
+        }
         for _ in 0..self.samples {
             let input = setup();
             let start = Instant::now();
