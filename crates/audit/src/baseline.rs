@@ -1,0 +1,387 @@
+//! Baseline comparison of run reports: the triage half of the auditor.
+//!
+//! `dualpar-audit trace --baseline <old.json> <new.json>` diffs two
+//! `RunReport` JSON files (as printed by `dualpar <spec>` or
+//! `dualpar profile <target> --json`) and fails — nonzero exit — when the
+//! new run regresses past a configurable threshold. Compared metrics, all
+//! in simulated time so the check is machine-independent:
+//!
+//! - **makespan**: `span_profile.makespan` when present, else `sim_end`;
+//! - **per-stage latency**: `p50` and `p99` of every request-lifecycle
+//!   stage both reports carry (`span_profile.stage_latency`);
+//! - **time in state**: seconds per process state summed over processes
+//!   (`span_profile.time_in_state`), excluding `proc.compute` — more
+//!   compute is not a service regression, more blocked/suspended time is;
+//! - **counters**: every counter present in either report is listed in the
+//!   diff for context, but never gates the exit code (byte totals move
+//!   with workload changes, which is not by itself a regression).
+//!
+//! A metric regresses when it grows by more than `max_regress_pct` percent
+//! *and* by more than an absolute floor of 1 µs — percentage alone would
+//! flag nanosecond jitter on near-zero baselines. Metrics appearing in
+//! only one report are skipped (there is nothing to compare).
+
+use serde::{find_field, Value};
+
+/// Absolute growth (seconds) below which a metric never counts as a
+/// regression, whatever the percentage says.
+const ABS_FLOOR_SECS: f64 = 1e-6;
+
+/// One compared metric that moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Dotted metric path, e.g. `stage.server.queue.p99`.
+    pub metric: String,
+    /// Baseline value (seconds).
+    pub old: f64,
+    /// New value (seconds).
+    pub new: f64,
+    /// `(new - old) / old * 100`; infinite when the baseline was zero.
+    pub delta_pct: f64,
+}
+
+/// One counter present in either report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterDelta {
+    /// Counter name.
+    pub name: String,
+    /// Baseline value (0 when absent).
+    pub old: u64,
+    /// New value (0 when absent).
+    pub new: u64,
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct BaselineDiff {
+    /// Threshold the regression gate used (percent).
+    pub max_regress_pct: f64,
+    /// Metrics that grew past the threshold, in metric order.
+    pub regressions: Vec<MetricDelta>,
+    /// Metrics that shrank past the same threshold (context only).
+    pub improvements: Vec<MetricDelta>,
+    /// Counters whose values differ between the reports.
+    pub counters: Vec<CounterDelta>,
+}
+
+impl BaselineDiff {
+    /// Did the new report avoid every regression?
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Machine-readable summary (single JSON object).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"dualpar-audit-baseline/v1\",\"max_regress_pct\":");
+        push_f64(&mut out, self.max_regress_pct);
+        out.push_str(",\"ok\":");
+        out.push_str(if self.ok() { "true" } else { "false" });
+        for (key, list) in [
+            ("regressions", &self.regressions),
+            ("improvements", &self.improvements),
+        ] {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":[");
+            for (i, d) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"metric\":\"");
+                out.push_str(&d.metric);
+                out.push_str("\",\"old\":");
+                push_f64(&mut out, d.old);
+                out.push_str(",\"new\":");
+                push_f64(&mut out, d.new);
+                out.push_str(",\"delta_pct\":");
+                push_f64(&mut out, d.delta_pct);
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push_str(",\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            out.push_str(&c.name);
+            out.push_str("\",\"old\":");
+            out.push_str(&c.old.to_string());
+            out.push_str(",\"new\":");
+            out.push_str(&c.new.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable rendering, one metric per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.regressions {
+            out.push_str(&format!(
+                "REGRESSION {:<28} {:>12.6} -> {:>12.6}  (+{:.1}%)\n",
+                d.metric, d.old, d.new, d.delta_pct
+            ));
+        }
+        for d in &self.improvements {
+            out.push_str(&format!(
+                "improved   {:<28} {:>12.6} -> {:>12.6}  ({:.1}%)\n",
+                d.metric, d.old, d.new, d.delta_pct
+            ));
+        }
+        let changed = self.counters.iter().filter(|c| c.old != c.new).count();
+        out.push_str(&format!(
+            "baseline diff: {} regression(s), {} improvement(s), {} counter(s) changed (threshold {}%)\n",
+            self.regressions.len(),
+            self.improvements.len(),
+            changed,
+            self.max_regress_pct
+        ));
+        out
+    }
+}
+
+fn push_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Pull the map entries at a dotted path, or `None` anywhere along it.
+fn map_at<'a>(root: &'a Value, path: &[&str]) -> Option<&'a Vec<(String, Value)>> {
+    let mut cur = root;
+    for key in path {
+        cur = find_field(cur.as_map()?, key)?;
+    }
+    cur.as_map()
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::U64(x) => Some(*x as f64),
+        Value::I64(x) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(x) => Some(*x),
+        Value::I64(x) if *x >= 0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
+/// The simulated-seconds metrics of one report, flattened to dotted names.
+fn latency_metrics(report: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let profile = report
+        .as_map()
+        .and_then(|m| find_field(m, "span_profile"))
+        .filter(|v| !matches!(v, Value::Null));
+    let makespan = profile
+        .and_then(|p| find_field(p.as_map()?, "makespan"))
+        .and_then(as_f64)
+        .or_else(|| {
+            // `sim_end` is a raw nanosecond count; the profile's makespan
+            // is in seconds. Normalise so thresholds mean the same thing.
+            report
+                .as_map()
+                .and_then(|m| find_field(m, "sim_end"))
+                .and_then(as_f64)
+                .map(|ns| ns / 1e9)
+        });
+    if let Some(m) = makespan {
+        out.push(("makespan".to_string(), m));
+    }
+    let Some(profile) = profile else { return out };
+    if let Some(stages) = map_at(profile, &["stage_latency"]) {
+        for (stage, summary) in stages {
+            let Some(fields) = summary.as_map() else { continue };
+            for q in ["p50", "p99"] {
+                if let Some(v) = find_field(fields, q).and_then(as_f64) {
+                    out.push((format!("stage.{stage}.{q}"), v));
+                }
+            }
+        }
+    }
+    if let Some(rows) = profile.as_map().and_then(|m| find_field(m, "time_in_state")) {
+        let mut by_state: Vec<(String, f64)> = Vec::new();
+        for row in rows.as_seq().into_iter().flatten() {
+            let Some(states) = map_at(row, &["seconds"]) else { continue };
+            for (state, secs) in states {
+                if state == "proc.compute" {
+                    continue;
+                }
+                let Some(secs) = as_f64(secs) else { continue };
+                match by_state.iter_mut().find(|(s, _)| s == state) {
+                    Some((_, total)) => *total += secs,
+                    None => by_state.push((state.clone(), secs)),
+                }
+            }
+        }
+        for (state, total) in by_state {
+            out.push((format!("state.{state}.secs"), total));
+        }
+    }
+    out
+}
+
+fn counters(report: &Value) -> Vec<(String, u64)> {
+    map_at(report, &["telemetry", "counters"])
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|(k, v)| Some((k.clone(), as_u64(v)?)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Diff two parsed `RunReport` JSON values. `max_regress_pct` is the growth
+/// (percent) past which a simulated-time metric counts as a regression.
+pub fn diff_reports(old: &Value, new: &Value, max_regress_pct: f64) -> BaselineDiff {
+    let old_metrics = latency_metrics(old);
+    let new_metrics = latency_metrics(new);
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    for (name, old_v) in &old_metrics {
+        let Some((_, new_v)) = new_metrics.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let delta = new_v - old_v;
+        let delta_pct = if *old_v > 0.0 {
+            delta / old_v * 100.0
+        } else if delta.abs() <= ABS_FLOOR_SECS {
+            0.0
+        } else {
+            f64::INFINITY * delta.signum()
+        };
+        let d = MetricDelta {
+            metric: name.clone(),
+            old: *old_v,
+            new: *new_v,
+            delta_pct,
+        };
+        if delta > ABS_FLOOR_SECS && delta_pct > max_regress_pct {
+            regressions.push(d);
+        } else if delta < -ABS_FLOOR_SECS && delta_pct < -max_regress_pct {
+            improvements.push(d);
+        }
+    }
+    let old_counters = counters(old);
+    let new_counters = counters(new);
+    let mut names: Vec<&String> = old_counters
+        .iter()
+        .chain(&new_counters)
+        .map(|(n, _)| n)
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    let counters = names
+        .into_iter()
+        .map(|name| CounterDelta {
+            name: name.clone(),
+            old: old_counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v),
+            new: new_counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v),
+        })
+        .filter(|c| c.old != c.new)
+        .collect();
+    BaselineDiff {
+        max_regress_pct,
+        regressions,
+        improvements,
+        counters,
+    }
+}
+
+/// Parse two report JSON strings and diff them.
+pub fn diff_report_strs(
+    old: &str,
+    new: &str,
+    max_regress_pct: f64,
+) -> Result<BaselineDiff, String> {
+    let old: Value = serde_json::from_str(old).map_err(|e| format!("baseline report: {e}"))?;
+    let new: Value = serde_json::from_str(new).map_err(|e| format!("new report: {e}"))?;
+    Ok(diff_reports(&old, &new, max_regress_pct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(queue_p99: f64, suspended: f64, bytes: u64) -> String {
+        format!(
+            "{{\"sim_end\":1.0,\"telemetry\":{{\"counters\":{{\"io.bytes_read\":{bytes}}}}},\
+             \"span_profile\":{{\"makespan\":1.0,\
+             \"stage_latency\":{{\"server.queue\":{{\"count\":4,\"p50\":0.01,\"p99\":{queue_p99}}}}},\
+             \"time_in_state\":[{{\"key\":0,\"label\":\"p0/r0\",\"seconds\":{{\"proc.compute\":0.5,\"proc.suspended\":{suspended}}}}}]}}}}"
+        )
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let a = report(0.02, 0.3, 100);
+        let d = diff_report_strs(&a, &a, 5.0).unwrap();
+        assert!(d.ok());
+        assert!(d.improvements.is_empty());
+        assert!(d.counters.is_empty());
+        assert!(d.to_json().contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn regression_past_threshold_fails() {
+        let old = report(0.02, 0.3, 100);
+        let new = report(0.05, 0.3, 100);
+        let d = diff_report_strs(&old, &new, 5.0).unwrap();
+        assert!(!d.ok());
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].metric, "stage.server.queue.p99");
+        assert!((d.regressions[0].delta_pct - 150.0).abs() < 1e-9);
+        assert!(d.to_json().contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn small_moves_and_counters_do_not_fail() {
+        // +2% queue p99 under a 5% gate; counters move freely.
+        let old = report(0.0200, 0.3, 100);
+        let new = report(0.0204, 0.3, 999);
+        let d = diff_report_strs(&old, &new, 5.0).unwrap();
+        assert!(d.ok(), "{:?}", d.regressions);
+        assert_eq!(d.counters.len(), 1);
+        assert_eq!(d.counters[0].new, 999);
+    }
+
+    #[test]
+    fn improvements_and_state_time_are_tracked() {
+        let old = report(0.02, 0.4, 100);
+        let new = report(0.01, 0.6, 100);
+        let d = diff_report_strs(&old, &new, 5.0).unwrap();
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].metric, "state.proc.suspended.secs");
+        assert_eq!(d.improvements.len(), 1);
+        assert_eq!(d.improvements[0].metric, "stage.server.queue.p99");
+    }
+
+    #[test]
+    fn reports_without_profiles_compare_makespan_only() {
+        // `sim_end` is nanoseconds: 1 s baseline doubling to 2 s.
+        let old = "{\"sim_end\":1000000000,\"span_profile\":null}";
+        let new = "{\"sim_end\":2000000000,\"span_profile\":null}";
+        let d = diff_report_strs(old, new, 5.0).unwrap();
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].metric, "makespan");
+    }
+}

@@ -19,7 +19,18 @@
 //!   increase;
 //! - **cache conservation**: the end-of-run prefetch ledger balances
 //!   (`inserted == consumed + overwritten + evicted + misprefetched +
-//!   unused_now`).
+//!   unused_now`);
+//! - **span pairing**: every `span/open` has exactly one `span/close`
+//!   (no double close, no close without open, nothing open at EOF) and
+//!   durations are non-negative;
+//! - **span nesting**: a child span opens while its parent is open, no
+//!   earlier than the parent's own open, and closes no later than the
+//!   parent closes;
+//! - **span stage order**: the request-lifecycle stages recorded for a
+//!   sub-request key appear in pipeline order (`req.life`, `req.issue`,
+//!   `server.queue`, `disk.service`, `req.ack`); stages may be skipped
+//!   (the write-back ack path has no queue/service leg) but never repeat
+//!   or run backwards.
 //!
 //! Violations are reported with the 0-based index of the offending event
 //! and rendered as a machine-readable JSON summary
@@ -31,6 +42,7 @@
 
 #![deny(missing_docs)]
 
+pub mod baseline;
 pub mod lint;
 
 use dualpar_telemetry::{FieldValue, TraceBuffer};
@@ -479,6 +491,31 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Rank of a request-lifecycle stage span in pipeline order, `None` for
+/// non-stage spans (process-state spans carry no ordering constraint).
+fn stage_rank(name: &str) -> Option<u32> {
+    match name {
+        "req.life" => Some(0),
+        "req.issue" => Some(1),
+        "server.queue" => Some(2),
+        "disk.service" => Some(3),
+        "req.ack" => Some(4),
+        _ => None,
+    }
+}
+
+/// A span seen open but not yet closed.
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    name: String,
+    key: u64,
+    /// Logical open time (the event's `at` payload, not its stamp).
+    at: f64,
+    parent: Option<u64>,
+    /// Index of the `span/open` event, for EOF diagnostics.
+    opened_at: usize,
+}
+
 /// The last EMC tick observation seen for a program.
 #[derive(Debug, Clone)]
 struct TickObs {
@@ -517,6 +554,13 @@ pub struct Auditor {
     seen_disk_start: HashSet<u64>,
     /// Processes that have shown a `pec/suspend` — same reasoning.
     seen_pec_suspend: HashSet<u64>,
+    /// Spans currently open, by span id.
+    open_spans: HashMap<u64, OpenSpan>,
+    /// Spans already closed: id → close time (`at` payload). Used to catch
+    /// double closes and children outliving their parent.
+    closed_spans: HashMap<u64, f64>,
+    /// Per sub-request key: rank of the last lifecycle stage opened.
+    span_stage: HashMap<u64, u32>,
 }
 
 impl Auditor {
@@ -536,6 +580,9 @@ impl Auditor {
             warnings: 0,
             seen_disk_start: HashSet::new(),
             seen_pec_suspend: HashSet::new(),
+            open_spans: HashMap::new(),
+            closed_spans: HashMap::new(),
+            span_stage: HashMap::new(),
         }
     }
 
@@ -571,6 +618,8 @@ impl Auditor {
             ("pec", "suspend") => self.on_pec_suspend(ev),
             ("pec", "resume") => self.on_pec_resume(ev),
             ("cache", "conservation") => self.on_cache_conservation(ev),
+            ("span", "open") => self.on_span_open(ev),
+            ("span", "close") => self.on_span_close(ev),
             _ => {}
         }
         self.index += 1;
@@ -820,6 +869,131 @@ impl Auditor {
         }
     }
 
+    fn on_span_open(&mut self, ev: &AuditEvent) {
+        let (Some(id), Some(name), Some(key), Some(at)) = (
+            ev.u64("id"),
+            ev.str("name"),
+            ev.u64("key"),
+            ev.num("at"),
+        ) else {
+            self.flag(ev.t, "malformed", "span/open missing fields".to_string());
+            return;
+        };
+        let name = name.to_string();
+        if self.open_spans.contains_key(&id) || self.closed_spans.contains_key(&id) {
+            self.flag(
+                ev.t,
+                "span-pairing",
+                format!("span id {id} ('{name}') opened twice"),
+            );
+            return;
+        }
+        let parent = ev.u64("parent");
+        if let Some(p) = parent {
+            match self.open_spans.get(&p) {
+                Some(ps) => {
+                    if at < ps.at {
+                        self.flag(
+                            ev.t,
+                            "span-nesting",
+                            format!(
+                                "span {id} ('{name}') opens at {at} before its parent {p} ('{}') opened at {}",
+                                ps.name, ps.at
+                            ),
+                        );
+                    }
+                }
+                None if self.closed_spans.contains_key(&p) => self.flag(
+                    ev.t,
+                    "span-nesting",
+                    format!("span {id} ('{name}') opens under already-closed parent {p}"),
+                ),
+                // The parent's open may sit in a dropped ring-buffer prefix.
+                None if self.cfg.tolerate_truncation => self.warnings += 1,
+                None => self.flag(
+                    ev.t,
+                    "span-nesting",
+                    format!("span {id} ('{name}') opens under unknown parent {p}"),
+                ),
+            }
+        }
+        if let Some(rank) = stage_rank(&name) {
+            if let Some(&prev) = self.span_stage.get(&key) {
+                if rank <= prev {
+                    self.flag(
+                        ev.t,
+                        "span-stage-order",
+                        format!(
+                            "request key {key} stage '{name}' (rank {rank}) after a rank-{prev} stage; stages must advance"
+                        ),
+                    );
+                }
+            }
+            self.span_stage.insert(key, rank);
+        }
+        self.open_spans.insert(
+            id,
+            OpenSpan {
+                name,
+                key,
+                at,
+                parent,
+                opened_at: self.index,
+            },
+        );
+    }
+
+    fn on_span_close(&mut self, ev: &AuditEvent) {
+        let (Some(id), Some(at)) = (ev.u64("id"), ev.num("at")) else {
+            self.flag(ev.t, "malformed", "span/close missing fields".to_string());
+            return;
+        };
+        let Some(span) = self.open_spans.remove(&id) else {
+            if self.closed_spans.contains_key(&id) {
+                self.flag(
+                    ev.t,
+                    "span-pairing",
+                    format!("span id {id} closed twice"),
+                );
+            } else if self.cfg.tolerate_truncation {
+                // Its open may be in the dropped prefix.
+                self.warnings += 1;
+            } else {
+                self.flag(
+                    ev.t,
+                    "span-pairing",
+                    format!("span id {id} closed without a matching open"),
+                );
+            }
+            return;
+        };
+        if at < span.at {
+            self.flag(
+                ev.t,
+                "span-pairing",
+                format!(
+                    "span {id} ('{}', key {}) closes at {at} before it opened at {}",
+                    span.name, span.key, span.at
+                ),
+            );
+        }
+        if let Some(p) = span.parent {
+            if let Some(&pc) = self.closed_spans.get(&p) {
+                if at > pc {
+                    self.flag(
+                        ev.t,
+                        "span-nesting",
+                        format!(
+                            "span {id} ('{}') closes at {at} after its parent {p} closed at {pc}",
+                            span.name
+                        ),
+                    );
+                }
+            }
+        }
+        self.closed_spans.insert(id, at);
+    }
+
     fn on_cache_conservation(&mut self, ev: &AuditEvent) {
         let keys = [
             "inserted",
@@ -872,6 +1046,19 @@ impl Auditor {
                 t: self.last_t,
                 check: "pec-pairing",
                 message: format!("proc {proc} still suspended at end of trace (suspend at event {at})"),
+            });
+        }
+        let mut open: Vec<(u64, OpenSpan)> = self.open_spans.drain().collect();
+        open.sort_unstable_by_key(|(id, _)| *id);
+        for (id, span) in open {
+            self.violations.push(Violation {
+                index: span.opened_at,
+                t: self.last_t,
+                check: "span-pairing",
+                message: format!(
+                    "span {id} ('{}', key {}) still open at end of trace (opened at event {})",
+                    span.name, span.key, span.opened_at
+                ),
             });
         }
         AuditReport {
@@ -946,6 +1133,103 @@ mod tests {
         );
         assert!(r.ok(), "unexpected violations: {:?}", r.violations);
         assert_eq!(r.events, 9);
+    }
+
+    #[test]
+    fn well_formed_spans_pass() {
+        // A request lifecycle (life > issue, queue, service, ack) plus a
+        // process-state span; skipping stages (write-back ack) is fine.
+        let r = audit(
+            "{\"t\":0.0,\"component\":\"span\",\"kind\":\"open\",\"id\":0,\"name\":\"req.life\",\"key\":7,\"at\":0.0}\n\
+             {\"t\":0.0,\"component\":\"span\",\"kind\":\"open\",\"id\":1,\"name\":\"req.issue\",\"key\":7,\"at\":0.0,\"parent\":0}\n\
+             {\"t\":0.1,\"component\":\"span\",\"kind\":\"close\",\"id\":1,\"at\":0.1}\n\
+             {\"t\":0.1,\"component\":\"span\",\"kind\":\"open\",\"id\":2,\"name\":\"server.queue\",\"key\":7,\"at\":0.1,\"parent\":0}\n\
+             {\"t\":0.2,\"component\":\"span\",\"kind\":\"close\",\"id\":2,\"at\":0.2}\n\
+             {\"t\":0.2,\"component\":\"span\",\"kind\":\"open\",\"id\":3,\"name\":\"disk.service\",\"key\":7,\"at\":0.2,\"parent\":0}\n\
+             {\"t\":0.3,\"component\":\"span\",\"kind\":\"close\",\"id\":3,\"at\":0.3}\n\
+             {\"t\":0.3,\"component\":\"span\",\"kind\":\"open\",\"id\":4,\"name\":\"req.ack\",\"key\":7,\"at\":0.3,\"parent\":0}\n\
+             {\"t\":0.4,\"component\":\"span\",\"kind\":\"close\",\"id\":4,\"at\":0.4}\n\
+             {\"t\":0.4,\"component\":\"span\",\"kind\":\"close\",\"id\":0,\"at\":0.4}\n\
+             {\"t\":0.5,\"component\":\"span\",\"kind\":\"open\",\"id\":5,\"name\":\"req.life\",\"key\":8,\"at\":0.5}\n\
+             {\"t\":0.5,\"component\":\"span\",\"kind\":\"open\",\"id\":6,\"name\":\"req.issue\",\"key\":8,\"at\":0.5,\"parent\":5}\n\
+             {\"t\":0.6,\"component\":\"span\",\"kind\":\"close\",\"id\":6,\"at\":0.6}\n\
+             {\"t\":0.6,\"component\":\"span\",\"kind\":\"open\",\"id\":7,\"name\":\"req.ack\",\"key\":8,\"at\":0.6,\"parent\":5}\n\
+             {\"t\":0.7,\"component\":\"span\",\"kind\":\"close\",\"id\":7,\"at\":0.7}\n\
+             {\"t\":0.7,\"component\":\"span\",\"kind\":\"close\",\"id\":5,\"at\":0.7}\n\
+             {\"t\":0.7,\"component\":\"span\",\"kind\":\"open\",\"id\":8,\"name\":\"proc.compute\",\"key\":1,\"at\":0.7}\n\
+             {\"t\":0.8,\"component\":\"span\",\"kind\":\"close\",\"id\":8,\"at\":0.8}\n",
+        );
+        assert!(r.ok(), "unexpected violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn flags_span_open_at_eof() {
+        let r = audit(
+            "{\"t\":0.0,\"component\":\"span\",\"kind\":\"open\",\"id\":0,\"name\":\"proc.compute\",\"key\":1,\"at\":0.0}\n",
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].check, "span-pairing");
+        assert!(r.violations[0].message.contains("still open"));
+    }
+
+    #[test]
+    fn flags_span_pairing_and_order_errors() {
+        // Close without open.
+        let r = audit("{\"t\":0.1,\"component\":\"span\",\"kind\":\"close\",\"id\":9,\"at\":0.1}\n");
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].check, "span-pairing");
+        // …downgraded to a warning under truncation tolerance.
+        let tol = AuditConfig {
+            tolerate_truncation: true,
+            ..AuditConfig::default()
+        };
+        let r = audit_jsonl_str(
+            "{\"t\":0.1,\"component\":\"span\",\"kind\":\"close\",\"id\":9,\"at\":0.1}\n",
+            tol,
+        )
+        .unwrap();
+        assert!(r.ok());
+        assert_eq!(r.warnings, 1);
+        // Double close.
+        let r = audit(
+            "{\"t\":0.0,\"component\":\"span\",\"kind\":\"open\",\"id\":0,\"name\":\"req.life\",\"key\":1,\"at\":0.0}\n\
+             {\"t\":0.1,\"component\":\"span\",\"kind\":\"close\",\"id\":0,\"at\":0.1}\n\
+             {\"t\":0.2,\"component\":\"span\",\"kind\":\"close\",\"id\":0,\"at\":0.2}\n",
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("closed twice"));
+        // Stage order regression: service after ack on the same key.
+        let r = audit(
+            "{\"t\":0.0,\"component\":\"span\",\"kind\":\"open\",\"id\":0,\"name\":\"req.ack\",\"key\":3,\"at\":0.0}\n\
+             {\"t\":0.1,\"component\":\"span\",\"kind\":\"close\",\"id\":0,\"at\":0.1}\n\
+             {\"t\":0.2,\"component\":\"span\",\"kind\":\"open\",\"id\":1,\"name\":\"disk.service\",\"key\":3,\"at\":0.2}\n\
+             {\"t\":0.3,\"component\":\"span\",\"kind\":\"close\",\"id\":1,\"at\":0.3}\n",
+        );
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].check, "span-stage-order");
+    }
+
+    #[test]
+    fn flags_span_nesting_errors() {
+        // Child closing after its parent closed.
+        let r = audit(
+            "{\"t\":0.0,\"component\":\"span\",\"kind\":\"open\",\"id\":0,\"name\":\"proc.suspended\",\"key\":1,\"at\":0.0}\n\
+             {\"t\":0.1,\"component\":\"span\",\"kind\":\"open\",\"id\":1,\"name\":\"proc.ghost\",\"key\":1,\"at\":0.1,\"parent\":0}\n\
+             {\"t\":0.2,\"component\":\"span\",\"kind\":\"close\",\"id\":0,\"at\":0.2}\n\
+             {\"t\":0.3,\"component\":\"span\",\"kind\":\"close\",\"id\":1,\"at\":0.3}\n",
+        );
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].check, "span-nesting");
+        // Child opening before the parent did.
+        let r = audit(
+            "{\"t\":0.0,\"component\":\"span\",\"kind\":\"open\",\"id\":0,\"name\":\"req.life\",\"key\":1,\"at\":0.5}\n\
+             {\"t\":0.1,\"component\":\"span\",\"kind\":\"open\",\"id\":1,\"name\":\"req.issue\",\"key\":1,\"at\":0.2,\"parent\":0}\n\
+             {\"t\":0.6,\"component\":\"span\",\"kind\":\"close\",\"id\":1,\"at\":0.6}\n\
+             {\"t\":0.6,\"component\":\"span\",\"kind\":\"close\",\"id\":0,\"at\":0.6}\n",
+        );
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].check, "span-nesting");
+        assert!(r.violations[0].message.contains("before its parent"));
     }
 
     #[test]

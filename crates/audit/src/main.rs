@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! dualpar-audit trace <trace.jsonl> [--json <out.json>] [--tolerate-truncation]
+//! dualpar-audit trace --baseline <old-report.json> <new-report.json> \
+//!     [--json <out.json>] [--max-regress-pct <pct>]
 //! dualpar-audit lint [--root <dir>] [--allow <file>]
 //! ```
 //!
@@ -10,16 +12,21 @@
 //! were dropped (runs past `trace_capacity`): pairing errors explainable by
 //! the missing prefix are counted as warnings instead of violations.
 //!
-//! Exit status: 0 — clean; 1 — violations or lint findings; 2 — usage or
-//! I/O error.
+//! `--baseline` switches from trace auditing to report diffing: both
+//! arguments are `RunReport` JSON files (`dualpar profile <t> --json`),
+//! and the exit code reflects whether any simulated-time metric regressed
+//! past `--max-regress-pct` (default 5). See [`dualpar_audit::baseline`].
+//!
+//! Exit status: 0 — clean; 1 — violations, regressions, or lint findings;
+//! 2 — usage or I/O error.
 
 use dualpar_audit::lint::{lint_workspace, AllowList};
-use dualpar_audit::{audit_jsonl_str, AuditConfig};
+use dualpar_audit::{audit_jsonl_str, baseline, AuditConfig};
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dualpar-audit trace <trace.jsonl> [--json <out.json>] [--tolerate-truncation]\n       dualpar-audit lint [--root <dir>] [--allow <file>]";
+const USAGE: &str = "usage: dualpar-audit trace <trace.jsonl> [--json <out.json>] [--tolerate-truncation]\n       dualpar-audit trace --baseline <old-report.json> <new-report.json> [--json <out.json>] [--max-regress-pct <pct>]\n       dualpar-audit lint [--root <dir>] [--allow <file>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +53,8 @@ fn main() -> ExitCode {
 fn cmd_trace(args: &[String]) -> Result<bool, String> {
     let mut trace_path: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut max_regress_pct = 5.0;
     let mut cfg = AuditConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -55,12 +64,30 @@ fn cmd_trace(args: &[String]) -> Result<bool, String> {
                     it.next().ok_or("--json needs a path")?,
                 ));
             }
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a path")?,
+                ));
+            }
+            "--max-regress-pct" => {
+                max_regress_pct = it
+                    .next()
+                    .ok_or("--max-regress-pct needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--max-regress-pct: {e}"))?;
+                if !max_regress_pct.is_finite() || max_regress_pct < 0.0 {
+                    return Err("--max-regress-pct must be a non-negative number".into());
+                }
+            }
             "--tolerate-truncation" => cfg.tolerate_truncation = true,
             _ if trace_path.is_none() => trace_path = Some(PathBuf::from(arg)),
             _ => return Err(USAGE.to_string()),
         }
     }
     let trace_path = trace_path.ok_or(USAGE)?;
+    if let Some(old_path) = baseline_path {
+        return cmd_baseline(&old_path, &trace_path, max_regress_pct, json_out.as_deref());
+    }
     let text = fs::read_to_string(&trace_path)
         .map_err(|e| format!("reading {}: {e}", trace_path.display()))?;
     let report = audit_jsonl_str(&text, cfg)
@@ -84,6 +111,29 @@ fn cmd_trace(args: &[String]) -> Result<bool, String> {
         report.warnings
     );
     Ok(report.ok())
+}
+
+/// Diff a new report against a baseline report; clean means no metric
+/// regressed past the threshold.
+fn cmd_baseline(
+    old_path: &std::path::Path,
+    new_path: &std::path::Path,
+    max_regress_pct: f64,
+    json_out: Option<&std::path::Path>,
+) -> Result<bool, String> {
+    let old = fs::read_to_string(old_path)
+        .map_err(|e| format!("reading {}: {e}", old_path.display()))?;
+    let new = fs::read_to_string(new_path)
+        .map_err(|e| format!("reading {}: {e}", new_path.display()))?;
+    let diff = baseline::diff_report_strs(&old, &new, max_regress_pct)?;
+    print!("{}", diff.render_text());
+    let json = diff.to_json();
+    match json_out {
+        Some(path) => fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?,
+        None => println!("{json}"),
+    }
+    Ok(diff.ok())
 }
 
 fn cmd_lint(args: &[String]) -> Result<bool, String> {

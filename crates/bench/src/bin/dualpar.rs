@@ -11,6 +11,15 @@
 //!     --trace events.jsonl            # full event trace as JSON Lines
 //! ```
 //!
+//! Time-attribution profile of a built-in experiment or a spec (spans
+//! forced on; see `docs/PROFILING.md`):
+//!
+//! ```sh
+//! cargo run --release -p dualpar-bench --bin dualpar -- profile quickstart
+//! cargo run --release -p dualpar-bench --bin dualpar -- profile interference --folded
+//! cargo run --release -p dualpar-bench --bin dualpar -- profile spec.json --json
+//! ```
+//!
 //! Parallel figure-set suite (independent runs fanned over a worker pool;
 //! per-run reports are byte-identical at any `--jobs` level):
 //!
@@ -80,6 +89,11 @@ fn main() {
     if args.get(1).map(String::as_str) == Some("suite") {
         args.remove(1);
         run_suite_command(args);
+        return;
+    }
+    if args.get(1).map(String::as_str) == Some("profile") {
+        args.remove(1);
+        run_profile_command(args);
         return;
     }
     if take_switch(&mut args, "--example") {
@@ -274,4 +288,114 @@ fn run_suite_command(mut args: Vec<String>) {
         std::process::exit(1);
     });
     eprintln!("[saved {}]", out_path.display());
+}
+
+/// `dualpar profile`: run one experiment with span recording forced on and
+/// print its time-attribution profile.
+///
+/// The target is either a spec file path or a built-in name: `quickstart`
+/// (the quickstart example's workload at smoke scale), `interference` (the
+/// two-program interference pair), or any suite entry name such as
+/// `btio_dualpar`. Output is simulated-time only, so every mode is
+/// byte-identical across repeat runs and `--jobs` levels.
+///
+/// `--text` (default) renders the time-in-state table, per-stage latency
+/// quantiles, and critical path. `--folded` prints flamegraph-collapsed
+/// stacks (`parent;child self_us`) for standard flamegraph tooling.
+/// `--json` prints the full `RunReport` (profile embedded under
+/// `span_profile`) — the input format `dualpar-audit trace --baseline`
+/// diffs. `--trace <path>` additionally exports the JSONL event trace,
+/// with span open/close events mirrored in, for `dualpar-audit trace`.
+fn run_profile_command(mut args: Vec<String>) {
+    let as_json = take_switch(&mut args, "--json");
+    let as_folded = take_switch(&mut args, "--folded");
+    let as_text = take_switch(&mut args, "--text");
+    if as_json as u8 + as_folded as u8 + as_text as u8 > 1 {
+        eprintln!("--json, --text and --folded are mutually exclusive");
+        std::process::exit(2);
+    }
+    let trace_path = take_flag(&mut args, "--trace");
+    reject_unknown_flags(&args, "--json, --text, --folded or --trace");
+    let Some(target) = args.get(1).cloned() else {
+        eprintln!("usage: dualpar profile <name|spec.json> [--json|--text|--folded] [--trace <out.jsonl>]");
+        eprintln!("       built-in names: quickstart, interference, or any suite entry (e.g. btio_dualpar)");
+        std::process::exit(2);
+    };
+    if args.len() > 2 {
+        eprintln!("unexpected argument {:?}", args[2]);
+        std::process::exit(2);
+    }
+    let mut spec = resolve_profile_target(&target);
+    spec.cluster.telemetry.spans = true;
+    if spec.cluster.telemetry.level == TelemetryLevel::Off {
+        // Counters carry the span bookkeeping totals into the report.
+        spec.cluster.telemetry.level = TelemetryLevel::Counters;
+    }
+    if trace_path.is_some() {
+        spec.cluster.telemetry.level = TelemetryLevel::Trace;
+    }
+    let mut cluster = build_cluster(&spec);
+    let report = cluster.run();
+    if let Some(out) = &trace_path {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(out).unwrap_or_else(|e| {
+            eprintln!("cannot create {out}: {e}");
+            std::process::exit(1);
+        }));
+        cluster.export_trace(&mut w).unwrap_or_else(|e| {
+            eprintln!("cannot write trace to {out}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("event trace written to {out}");
+    }
+    let profile = report
+        .span_profile
+        .as_ref()
+        .expect("spans were forced on above");
+    if as_folded {
+        print!("{}", dualpar_cluster::folded(cluster.telemetry().spans()));
+    } else if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serialise report")
+        );
+    } else {
+        print!("{}", profile.render_text());
+    }
+}
+
+/// Map a `profile` target to an experiment spec: an existing file parses
+/// as a spec; otherwise the name selects a built-in experiment.
+fn resolve_profile_target(target: &str) -> ExperimentSpec {
+    if std::path::Path::new(target).is_file() {
+        let data = std::fs::read_to_string(target).unwrap_or_else(|e| {
+            eprintln!("cannot read {target}: {e}");
+            std::process::exit(1);
+        });
+        return serde_json::from_str(&data).unwrap_or_else(|e| {
+            eprintln!("invalid spec: {e}");
+            std::process::exit(1);
+        });
+    }
+    let name = match target {
+        // The quickstart example's DualPar leg at suite smoke scale.
+        "quickstart" => "mpiio_dualpar",
+        "interference" => "interference_pair",
+        other => other,
+    };
+    let entries = builtin_suite(Scale::Small);
+    match entries.into_iter().find(|e| e.name == name) {
+        Some(entry) => entry.spec,
+        None => {
+            let names: Vec<String> = builtin_suite(Scale::Small)
+                .into_iter()
+                .map(|e| e.name)
+                .collect();
+            eprintln!(
+                "unknown profile target {target:?}: not a spec file, and not one of \
+                 quickstart, interference, {}",
+                names.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
 }

@@ -65,6 +65,12 @@ pub struct SuiteRun {
     /// trace-level telemetry; byte-identical across repeat runs too.
     pub trace_jsonl: Option<String>,
     pub wall_secs: f64,
+    /// Telemetry level the spec ran at (`"off"`, `"counters"`, `"trace"`).
+    pub telemetry: &'static str,
+    /// Whether span recording was on — spans add per-event bookkeeping, so
+    /// wall-clock numbers from a spans-on run are not comparable to a
+    /// spans-off baseline.
+    pub spans: bool,
 }
 
 /// Execute one entry start-to-finish on the calling thread.
@@ -87,6 +93,12 @@ pub fn run_entry(entry: &SuiteEntry) -> SuiteRun {
         report_json,
         trace_jsonl,
         wall_secs,
+        telemetry: match entry.spec.cluster.telemetry.level {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Counters => "counters",
+            TelemetryLevel::Trace => "trace",
+        },
+        spans: entry.spec.cluster.telemetry.spans,
     }
 }
 
@@ -222,7 +234,14 @@ pub fn report_fingerprint(report_json: &str) -> String {
 #[derive(Debug, Serialize)]
 pub struct SuiteRunSummary {
     pub name: String,
+    /// Wall-clock of this run, as measured inside the pool. Includes any
+    /// telemetry/span overhead the spec enabled — check the two flags
+    /// below before comparing against runs with different settings.
     pub wall_secs: f64,
+    /// Telemetry level the run used (`"off"`, `"counters"`, `"trace"`).
+    pub telemetry: &'static str,
+    /// True when span recording (the profiler's input) was on for the run.
+    pub spans: bool,
     /// Events the simulation processed.
     pub sim_events: u64,
     /// Events per wall-clock second: the engine-throughput figure of merit.
@@ -273,6 +292,8 @@ pub fn summarize(runs: &[SuiteRun], jobs: usize, total_wall_secs: f64) -> SuiteS
             .map(|r| SuiteRunSummary {
                 name: r.name.clone(),
                 wall_secs: r.wall_secs,
+                telemetry: r.telemetry,
+                spans: r.spans,
                 sim_events: r.report.events_processed,
                 sim_events_per_sec: if r.wall_secs > 0.0 {
                     r.report.events_processed as f64 / r.wall_secs

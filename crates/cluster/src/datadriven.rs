@@ -60,6 +60,7 @@ impl Cluster {
             self.programs[prog].bytes_read += bytes;
             self.tele.count("io.bytes_read", bytes);
             self.timeline.record(done, bytes as f64);
+            self.proc_blocked_span(p, now, done);
             self.queue.schedule(done, Ev::ProcReady(p));
             return;
         }
@@ -99,6 +100,9 @@ impl Cluster {
         self.tele
             .gauge_max("cache.dirty_bytes_max", self.cache.dirty_bytes() as f64);
         self.timeline.record(done, bytes as f64);
+        // The write blocks `[now, done]`; a quota suspension below then
+        // replaces the (zero-length) compute span this opens at `done`.
+        self.proc_blocked_span(p, now, done);
         // Quota check: a full cache suspends the process until the
         // program-wide write-back (§IV-C "when caches assigned to every
         // process of a program are filled ...").
@@ -120,6 +124,7 @@ impl Cluster {
         self.procs[p].state = PState::S2Wait {
             op: self.procs[p].pos,
         };
+        self.sync_proc_span(p, now);
         let group = self.new_group(Purpose::DirectFetch { proc: p });
         self.issue_covers(now, group, node, ctx, IoKind::Read, &covers);
         self.finish_if_empty(now, group);
@@ -164,6 +169,9 @@ impl Cluster {
                     .f64("at", at.as_secs_f64())
             });
         self.procs[p].state = PState::Suspended { retry_op };
+        // Open the suspended span before any ghost starts: the ghost
+        // overlay nests inside it.
+        self.sync_proc_span(p, at);
         self.procs[p].op_start = if retry_op {
             self.procs[p].op_start // read blocked since op start
         } else {
@@ -198,6 +206,16 @@ impl Cluster {
     /// script, account the (retained) computation as ghost runtime.
     fn start_ghost(&mut self, at: SimTime, p: usize) {
         let prog = self.procs[p].prog;
+        if self.tele.spans_enabled() {
+            let key = crate::engine::proc_span_key(prog, self.procs[p].rank);
+            self.procs[p].ghost_span = self.tele.span_open(
+                self.queue.now().as_secs_f64(),
+                at.as_secs_f64(),
+                "proc.ghost",
+                self.procs[p].state_span,
+                key,
+            );
+        }
         let run = ghost_walk(
             &self.procs[p].script,
             self.procs[p].pos,
@@ -221,6 +239,7 @@ impl Cluster {
 
     pub(crate) fn on_ghost_done(&mut self, now: SimTime, prog: usize, p: usize) {
         self.procs[p].ghost_ev = None;
+        self.close_ghost_span(p, now);
         let owner = self.procs[p].owner;
         let recorded: Vec<_> = self.procs[p].pending_ghost.drain(..).collect();
         self.programs[prog]
@@ -245,6 +264,7 @@ impl Cluster {
         for p in self.programs[prog].procs.clone() {
             if let Some(ev) = self.procs[p].ghost_ev.take() {
                 self.queue.cancel(ev);
+                self.close_ghost_span(p, now);
                 let owner = self.procs[p].owner;
                 let recorded: Vec<_> = self.procs[p].pending_ghost.drain(..).collect();
                 self.programs[prog]
@@ -440,6 +460,7 @@ impl Cluster {
                 self.procs[p].phase_bytes = 0;
                 self.programs[prog].io_time = self.programs[prog].io_time.saturating_add(dur);
                 self.procs[p].state = PState::Computing;
+                self.sync_proc_span(p, now);
                 self.tele.event(now.as_secs_f64(), "pec", "resume", |e| {
                     e.u64("proc", p as u64).u64("program", prog as u64)
                 });
@@ -521,6 +542,7 @@ impl Cluster {
             self.programs[prog].bytes_read += bytes;
             self.tele.count("io.bytes_read", bytes);
             self.timeline.record(done, bytes as f64);
+            self.proc_blocked_span(p, now, done);
             self.queue.schedule(done, Ev::ProcReady(p));
             return;
         }
@@ -562,12 +584,14 @@ impl Cluster {
             }
         }
         self.procs[p].state = PState::S2Wait { op: pos };
+        self.sync_proc_span(p, now);
         // It is possible everything resolved synchronously (all waited
         // regions were already being fetched and completed in zero time) —
         // the completion paths handle that; nothing more to do here.
         if self.procs[p].s2_waiting.is_empty() && !self.procs[p].direct_pending {
             // Nothing is actually pending (e.g. raced completions): retry.
             self.procs[p].state = PState::Computing;
+            self.sync_proc_span(p, now);
             self.queue.schedule(now, Ev::ProcReady(p));
         }
     }

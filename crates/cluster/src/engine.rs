@@ -11,7 +11,7 @@ use dualpar_disk::{Disk, DiskRequest, IoCtx, IoKind, Lbn, StartOutcome};
 use dualpar_mpiio::{CoalescedIo, ProcessScript};
 use dualpar_pfs::{FileId, FileRegion, Pvfs};
 use dualpar_sim::{EventId, EventQueue, Link, SimDuration, SimTime, Slab, SlabKey, TimeSeries};
-use dualpar_telemetry::Telemetry;
+use dualpar_telemetry::{SpanId, SpanProfile, Telemetry};
 use dualpar_sim::{FxHashMap, FxHashSet};
 use std::collections::HashSet;
 
@@ -113,6 +113,12 @@ pub(crate) struct ReqInfo {
     pub group: SlabKey,
     /// Response payload size (data for reads, zero for writes).
     pub resp_bytes: u64,
+    /// The sub-request's `req.life` span, keyed by the raw sub id
+    /// (INVALID when spans are off).
+    pub life: SpanId,
+    /// The currently-open lifecycle stage child of `life`
+    /// (`req.issue` → `server.queue` → `disk.service`).
+    pub stage: SpanId,
 }
 
 /// Process execution state.
@@ -170,6 +176,36 @@ pub(crate) struct Proc {
     pub cur_covers: Vec<FileRegion>,
     /// Whether a direct-fetch group for the current op is outstanding.
     pub direct_pending: bool,
+    /// The open `proc.*` state span (INVALID when spans are off or the
+    /// process is done).
+    pub state_span: SpanId,
+    /// Name of the open state span, used to skip no-op flips when a
+    /// `PState` change stays within the same span category.
+    pub state_span_name: Option<&'static str>,
+    /// The open `proc.ghost` overlay span (child of the suspended span).
+    pub ghost_span: SpanId,
+}
+
+/// Key identifying a process in `proc.*` spans: program index in the high
+/// 32 bits, rank in the low 32 (rendered `p<prog>/r<rank>`).
+pub(crate) fn proc_span_key(prog: usize, rank: usize) -> u64 {
+    ((prog as u64) << 32) | rank as u64
+}
+
+/// The span category a process state falls into. `None` for `Done` (no
+/// span while finished). Blocking states collapse into `proc.blocked_io`;
+/// barrier waits are their own category so synchronization time is not
+/// misattributed to the I/O system.
+fn pstate_span_name(state: &PState) -> Option<&'static str> {
+    match state {
+        PState::Computing => Some("proc.compute"),
+        PState::VanillaIo { .. } | PState::S2Wait { .. } | PState::CollWait => {
+            Some("proc.blocked_io")
+        }
+        PState::BarrierWait(_) => Some("proc.barrier"),
+        PState::Suspended { .. } => Some("proc.suspended"),
+        PState::Done => None,
+    }
 }
 
 /// Program-level phase of the data-driven machinery.
@@ -402,6 +438,9 @@ impl Cluster {
                 ghost_ev: None,
                 cur_covers: Vec::new(),
                 direct_pending: false,
+                state_span: SpanId::INVALID,
+                state_span_name: None,
+                ghost_span: SpanId::INVALID,
             });
         }
         for f in &files {
@@ -528,6 +567,63 @@ impl Cluster {
         t
     }
 
+    // ----- span plumbing ------------------------------------------------
+
+    /// Re-derive process `p`'s state-span category from its current
+    /// [`PState`] and, if it changed, close the old span and open the new
+    /// one at logical time `at`. `at` may lie ahead of the queue clock (a
+    /// suspension taking effect when its triggering op completes); the
+    /// mirrored trace events stay monotone via their `stamp`.
+    ///
+    /// Call *after* every `PState` assignment that can change category.
+    pub(crate) fn sync_proc_span(&mut self, p: usize, at: SimTime) {
+        if !self.tele.spans_enabled() {
+            return;
+        }
+        let name = pstate_span_name(&self.procs[p].state);
+        if name == self.procs[p].state_span_name {
+            return;
+        }
+        let stamp = self.queue.now().as_secs_f64();
+        let at = at.as_secs_f64();
+        self.tele.span_close(stamp, self.procs[p].state_span, at);
+        let key = proc_span_key(self.procs[p].prog, self.procs[p].rank);
+        self.procs[p].state_span = match name {
+            Some(n) => self.tele.span_open(stamp, at, n, SpanId::INVALID, key),
+            None => SpanId::INVALID,
+        };
+        self.procs[p].state_span_name = name;
+    }
+
+    /// Record a blocked-I/O interval `[from, until]` for a process whose
+    /// `PState` never leaves `Computing` — the inline cache-served ops that
+    /// account their completion at a scheduled future instant (data-driven
+    /// cache hits and writes).
+    pub(crate) fn proc_blocked_span(&mut self, p: usize, from: SimTime, until: SimTime) {
+        if !self.tele.spans_enabled() {
+            return;
+        }
+        let stamp = self.queue.now().as_secs_f64();
+        let key = proc_span_key(self.procs[p].prog, self.procs[p].rank);
+        self.tele
+            .span_close(stamp, self.procs[p].state_span, from.as_secs_f64());
+        let blocked = self
+            .tele
+            .span_open(stamp, from.as_secs_f64(), "proc.blocked_io", SpanId::INVALID, key);
+        self.tele.span_close(stamp, blocked, until.as_secs_f64());
+        self.procs[p].state_span =
+            self.tele
+                .span_open(stamp, until.as_secs_f64(), "proc.compute", SpanId::INVALID, key);
+        self.procs[p].state_span_name = Some("proc.compute");
+    }
+
+    /// Close the process's ghost overlay span (if any) at `at`.
+    pub(crate) fn close_ghost_span(&mut self, p: usize, at: SimTime) {
+        let gs = std::mem::replace(&mut self.procs[p].ghost_span, SpanId::INVALID);
+        self.tele
+            .span_close(self.queue.now().as_secs_f64(), gs, at.as_secs_f64());
+    }
+
     /// Allocate a completion group.
     pub(crate) fn new_group(&mut self, purpose: Purpose) -> SlabKey {
         let opened = self.queue.now();
@@ -565,7 +661,29 @@ impl Cluster {
             };
             // The sub-request id *is* the raw slab key of its side-table
             // record, so completion resolves it with one indexed load.
-            let id = self.req_info.insert(ReqInfo { group, resp_bytes }).raw();
+            let id = self
+                .req_info
+                .insert(ReqInfo {
+                    group,
+                    resp_bytes,
+                    life: SpanId::INVALID,
+                    stage: SpanId::INVALID,
+                })
+                .raw();
+            if self.tele.spans_enabled() {
+                // `now` may be ahead of the queue clock (Strategy-2 pumps
+                // issue at jittered future instants); stamp with the clock.
+                let stamp = self.queue.now().as_secs_f64();
+                let at = now.as_secs_f64();
+                let life = self.tele.span_open(stamp, at, "req.life", SpanId::INVALID, id);
+                let stage = self.tele.span_open(stamp, at, "req.issue", life, id);
+                let info = self
+                    .req_info
+                    .get_mut(SlabKey::from_raw(id))
+                    .expect("just inserted");
+                info.life = life;
+                info.stage = stage;
+            }
             let deliver = self.node_links[node as usize].send(now, req_msg);
             self.queue.schedule(
                 deliver,
@@ -596,6 +714,28 @@ impl Cluster {
     pub(crate) fn kick_disk(&mut self, now: SimTime, server: u32) {
         match self.disks[server as usize].try_start(now) {
             StartOutcome::Started { finish } => {
+                if self.tele.spans_enabled() {
+                    // Queue merging is final once dispatch starts, so every
+                    // absorbed sub-request enters service here. Flush-daemon
+                    // replays carry ids already retired at ack time; the
+                    // slab generation check skips them (no live record).
+                    if let Some(req) = self.disks[server as usize].in_flight() {
+                        let stamp = now.as_secs_f64();
+                        for &id in req.merged_ids() {
+                            if let Some(info) = self.req_info.get_mut(SlabKey::from_raw(id)) {
+                                let (life, stage) = (info.life, info.stage);
+                                self.tele.span_close(stamp, stage, stamp);
+                                let svc =
+                                    self.tele.span_open(stamp, stamp, "disk.service", life, id);
+                                if let Some(info) =
+                                    self.req_info.get_mut(SlabKey::from_raw(id))
+                                {
+                                    info.stage = svc;
+                                }
+                            }
+                        }
+                    }
+                }
                 if self.tele.tracing() {
                     if let Some(req) = self.disks[server as usize].in_flight() {
                         let (id, lbn, sectors) = (req.id, req.lbn, req.sectors);
@@ -705,6 +845,17 @@ impl Cluster {
                             .send(now, self.cfg.msg_header.saturating_add(info.resp_bytes));
                         self.queue
                             .schedule(deliver, Ev::SubDone { group: info.group });
+                        if self.tele.spans_enabled() {
+                            // Buffered ack: the queue/disk stages are owned
+                            // by the flush daemon, so the lifecycle skips
+                            // straight from issue to ack.
+                            let stamp = now.as_secs_f64();
+                            self.tele.span_close(stamp, info.stage, stamp);
+                            let ack =
+                                self.tele.span_open(stamp, stamp, "req.ack", info.life, sub.id);
+                            self.tele.span_close(stamp, ack, deliver.as_secs_f64());
+                            self.tele.span_close(stamp, info.life, deliver.as_secs_f64());
+                        }
                     }
                     self.server_dirty[server as usize].push(req);
                     if !self.server_flush_scheduled[server as usize] {
@@ -715,6 +866,18 @@ impl Cluster {
                         );
                     }
                 } else {
+                    if self.tele.spans_enabled() {
+                        if let Some(info) = self.req_info.get_mut(SlabKey::from_raw(sub.id)) {
+                            let (life, stage) = (info.life, info.stage);
+                            let stamp = now.as_secs_f64();
+                            self.tele.span_close(stamp, stage, stamp);
+                            let queue_span =
+                                self.tele.span_open(stamp, stamp, "server.queue", life, sub.id);
+                            if let Some(info) = self.req_info.get_mut(SlabKey::from_raw(sub.id)) {
+                                info.stage = queue_span;
+                            }
+                        }
+                    }
                     self.disks[server as usize].enqueue(req);
                     self.tele.gauge_max(
                         "disk.queue_depth_max",
@@ -764,6 +927,13 @@ impl Cluster {
                             .send(now, self.cfg.msg_header.saturating_add(info.resp_bytes));
                         self.queue
                             .schedule(deliver, Ev::SubDone { group: info.group });
+                        if self.tele.spans_enabled() {
+                            let stamp = now.as_secs_f64();
+                            self.tele.span_close(stamp, info.stage, stamp);
+                            let ack = self.tele.span_open(stamp, stamp, "req.ack", info.life, id);
+                            self.tele.span_close(stamp, ack, deliver.as_secs_f64());
+                            self.tele.span_close(stamp, info.life, deliver.as_secs_f64());
+                        }
                     }
                 }
                 self.kick_disk(now, server);
@@ -809,6 +979,9 @@ impl Cluster {
         for p in range {
             self.procs[p].op_start = now;
             self.procs[p].last_io_end = now;
+            // Opens the initial `proc.compute` span (state is `Computing`
+            // and no span exists yet).
+            self.sync_proc_span(p, now);
             self.queue.schedule(now, Ev::ProcReady(p));
         }
     }
@@ -929,6 +1102,17 @@ impl Cluster {
                     .u64("misprefetched", ledger.misprefetched)
                     .u64("unused_now", ledger.unused_now)
             });
+        if self.tele.spans_enabled() {
+            // Every lifecycle is complete by the time all programs finish:
+            // state spans close at proc_done, request spans at delivery.
+            // (Flush-daemon disk work can outlive the run, but it never
+            // opens spans — its ids are stale by ack time.)
+            let open = self.tele.spans().open_count();
+            dualpar_sim::strict_assert!(open == 0, "{open} spans left open at end of run");
+            let total = self.tele.spans().len() as u64;
+            self.tele.count("span.recorded", total);
+            self.tele.count("span.unclosed", open);
+        }
         let cs = self.cache.stats();
         self.tele.count("cache.read_probes", cs.read_probes);
         self.tele.count("cache.read_hits", cs.read_hits);
@@ -983,6 +1167,15 @@ impl Cluster {
                 },
             })
             .collect();
+        let span_profile = if self.tele.spans_enabled() {
+            Some(SpanProfile::from_log(
+                self.tele.spans(),
+                self.queue.now().as_secs_f64(),
+                |k| format!("p{}/r{}", k >> 32, k & 0xFFFF_FFFF),
+            ))
+        } else {
+            None
+        };
         RunReport {
             programs,
             sim_end: self.queue.now(),
@@ -992,6 +1185,7 @@ impl Cluster {
             disk_bytes: self.disks.iter().map(|d| d.bytes_serviced()).sum(),
             events_processed: self.events_processed,
             telemetry: self.tele.snapshot(),
+            span_profile,
         }
     }
 

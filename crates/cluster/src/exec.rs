@@ -29,6 +29,7 @@ impl Cluster {
                         continue;
                     }
                     self.procs[p].state = PState::Computing;
+                    self.sync_proc_span(p, now);
                     self.queue.schedule(now.saturating_add(*d), Ev::ProcReady(p));
                     return;
                 }
@@ -52,6 +53,7 @@ impl Cluster {
             return;
         }
         self.procs[p].state = PState::Done;
+        self.sync_proc_span(p, now);
         let dur = now.since(self.procs[p].last_io_end);
         self.procs[p].clock.record_other(dur);
         let prog = self.procs[p].prog;
@@ -74,12 +76,14 @@ impl Cluster {
                 .unwrap_or_default();
             for w in released {
                 self.procs[w].state = PState::Computing;
+                self.sync_proc_span(w, now);
                 self.queue.schedule(now, Ev::ProcReady(w));
             }
             true
         } else {
             waiters.push(p);
             self.procs[p].state = PState::BarrierWait(id);
+            self.sync_proc_span(p, now);
             false
         }
     }
@@ -134,6 +138,7 @@ impl Cluster {
             op: self.procs[p].pos,
             next_region: 0,
         };
+        self.sync_proc_span(p, now);
         self.vanilla_issue_next(now, p);
     }
 
@@ -219,9 +224,10 @@ impl Cluster {
             coll.arrived[rank] = Some(call.regions.clone());
             coll.count += 1;
             self.procs[p].state = PState::CollWait;
-            if coll.count < program.nprocs() {
-                return;
-            }
+        }
+        self.sync_proc_span(p, now);
+        if self.programs[prog].coll.count < self.programs[prog].nprocs() {
+            return;
         }
         self.coll_launch(now, prog);
     }
@@ -293,6 +299,7 @@ impl Cluster {
             self.procs[p].pos += 1;
             self.programs[prog].io_time = self.programs[prog].io_time.saturating_add(dur);
             self.procs[p].state = PState::Computing;
+            self.sync_proc_span(p, now);
             self.queue.schedule(now, Ev::ProcReady(p));
         }
         {

@@ -19,7 +19,9 @@ pub use builder::{Experiment, ExperimentError};
 pub use config::{ClusterConfig, CtxMode, IoStrategy, ProgramSpec, ServerWriteMode};
 pub use engine::Cluster;
 pub use metrics::{ModeEvent, ProgramReport, RunReport};
-pub use dualpar_telemetry::{Telemetry, TelemetryConfig, TelemetryLevel, TelemetrySnapshot};
+pub use dualpar_telemetry::{
+    folded, SpanProfile, Telemetry, TelemetryConfig, TelemetryLevel, TelemetrySnapshot,
+};
 
 /// One-line import for experiment scripts: `use dualpar_cluster::prelude::*;`.
 pub mod prelude {
@@ -31,5 +33,5 @@ pub mod prelude {
     pub use dualpar_mpiio::{IoCall, Op, ProcessScript, ProgramScript};
     pub use dualpar_pfs::{FileId, FileRegion};
     pub use dualpar_sim::{SimDuration, SimTime};
-    pub use dualpar_telemetry::{TelemetryConfig, TelemetryLevel};
+    pub use dualpar_telemetry::{SpanProfile, TelemetryConfig, TelemetryLevel};
 }

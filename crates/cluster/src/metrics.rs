@@ -2,7 +2,7 @@
 
 use dualpar_core::ExecMode;
 use dualpar_sim::{SimDuration, SimTime, TimeSeries};
-use dualpar_telemetry::TelemetrySnapshot;
+use dualpar_telemetry::{SpanProfile, TelemetrySnapshot};
 use serde::Serialize;
 
 /// Outcome of one program.
@@ -89,6 +89,10 @@ pub struct RunReport {
     /// otherwise. The raw JSONL event trace is exported separately (see
     /// `Cluster::export_trace`).
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Time-attribution summary (per-process time-in-state, stage latency
+    /// quantiles, critical path) when span recording was enabled; `None`
+    /// otherwise. See `docs/PROFILING.md`.
+    pub span_profile: Option<SpanProfile>,
 }
 
 impl RunReport {
@@ -165,6 +169,7 @@ mod tests {
             disk_bytes: 0,
             events_processed: 0,
             telemetry: None,
+            span_profile: None,
         };
         // makespan = 0..20 s, 200 MB total.
         assert!((r.aggregate_throughput_mbps() - 10.0).abs() < 1e-9);

@@ -63,6 +63,16 @@ impl DiskRequest {
         }
     }
 
+    /// Ids of every sub-request this dispatch services — the request's own
+    /// id plus everything queue merging absorbed. Final once the request
+    /// starts at the media (merging only happens while queued or at
+    /// dispatch), so span/trace layers can fan service intervals out over
+    /// it at start time.
+    #[inline]
+    pub fn merged_ids(&self) -> &[u64] {
+        &self.merged
+    }
+
     /// One-past-the-end sector. Saturates: an extent reaching past
     /// `u64::MAX` is a caller bug, but a clamped end only disables merges
     /// instead of wrapping into a bogus low LBN.

@@ -23,6 +23,12 @@
 
 #![deny(missing_docs)]
 
+pub mod profile;
+pub mod span;
+
+pub use profile::{folded, CriticalPathHop, ProcStateRow, SpanProfile};
+pub use span::{NameId, SpanId, SpanLog, SpanRecord};
+
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Write};
@@ -56,6 +62,10 @@ pub struct TelemetryConfig {
     /// Maximum trace events retained; older events are dropped (and
     /// counted) once the ring is full.
     pub trace_capacity: usize,
+    /// Record spans (request lifecycle + process state intervals) into the
+    /// [`SpanLog`]. Off by default: span volume scales with request count,
+    /// so benches opt in explicitly (`dualpar profile` forces it on).
+    pub spans: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -63,6 +73,7 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             level: TelemetryLevel::Off,
             trace_capacity: 65_536,
+            spans: false,
         }
     }
 }
@@ -74,6 +85,12 @@ impl TelemetryConfig {
             level,
             ..TelemetryConfig::default()
         }
+    }
+
+    /// Convenience: enable span recording.
+    pub fn with_spans(mut self) -> Self {
+        self.spans = true;
+        self
     }
 }
 
@@ -270,7 +287,15 @@ pub struct Registry {
     series: BTreeMap<String, Vec<(f64, f64)>>,
 }
 
-/// Welford accumulator for histogram-style metrics.
+/// Welford accumulator plus fixed log-buckets for histogram-style metrics.
+///
+/// The bucket key keeps a positive sample's IEEE-754 exponent and top two
+/// mantissa bits (`bits >> 50`), so each octave splits into four buckets
+/// and a quantile's representative (the bucket's lower edge) is within 25%
+/// of the true sample. Pure bit arithmetic — no libm — so quantiles are
+/// deterministic across hosts. Zero, negative, and non-finite samples land
+/// in bucket 0 with representative 0.0 (the cluster only observes
+/// non-negative durations and sizes).
 #[derive(Debug, Clone)]
 struct Hist {
     n: u64,
@@ -278,6 +303,23 @@ struct Hist {
     m2: f64,
     min: f64,
     max: f64,
+    buckets: BTreeMap<u64, u64>,
+}
+
+fn bucket_key(x: f64) -> u64 {
+    if x > 0.0 && x.is_finite() {
+        x.to_bits() >> 50
+    } else {
+        0
+    }
+}
+
+fn bucket_rep(key: u64) -> f64 {
+    if key == 0 {
+        0.0
+    } else {
+        f64::from_bits(key << 50)
+    }
 }
 
 impl Hist {
@@ -288,6 +330,7 @@ impl Hist {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            buckets: BTreeMap::new(),
         }
     }
 
@@ -298,6 +341,24 @@ impl Hist {
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+        *self.buckets.entry(bucket_key(x)).or_insert(0) += 1;
+    }
+
+    /// The bucket representative at or above rank `ceil(q * n)`, clamped to
+    /// `[1, n]`. Deterministic: same samples, same answer, any order.
+    fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.n as f64).ceil() as u64).clamp(1, self.n);
+        let mut cum = 0u64;
+        for (&key, &count) in &self.buckets {
+            cum += count;
+            if cum >= rank {
+                return bucket_rep(key);
+            }
+        }
+        bucket_rep(self.buckets.keys().next_back().copied().unwrap_or(0))
     }
 
     fn summary(&self) -> HistogramSummary {
@@ -311,6 +372,9 @@ impl Hist {
             } else {
                 (self.m2 / (self.n - 1) as f64).sqrt()
             },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
         }
     }
 }
@@ -411,7 +475,8 @@ impl Registry {
 }
 
 /// Serializable summary of one histogram.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct HistogramSummary {
     /// Number of samples.
     pub count: u64,
@@ -423,6 +488,13 @@ pub struct HistogramSummary {
     pub max: f64,
     /// Sample standard deviation (0 for fewer than two samples).
     pub stddev: f64,
+    /// Median from the fixed log-bucket scheme (bucket lower edge, within
+    /// 25% of the true sample; 0 when empty).
+    pub p50: f64,
+    /// 90th percentile, same scheme.
+    pub p90: f64,
+    /// 99th percentile, same scheme.
+    pub p99: f64,
 }
 
 /// A deterministic, serializable snapshot of a [`Telemetry`] instance,
@@ -455,8 +527,10 @@ pub struct TelemetrySnapshot {
 #[derive(Debug, Clone)]
 pub struct Telemetry {
     level: TelemetryLevel,
+    spans_on: bool,
     registry: Registry,
     trace: TraceBuffer,
+    spans: SpanLog,
 }
 
 impl Default for Telemetry {
@@ -470,8 +544,10 @@ impl Telemetry {
     pub fn new(cfg: &TelemetryConfig) -> Self {
         Telemetry {
             level: cfg.level,
+            spans_on: cfg.spans && cfg.level != TelemetryLevel::Off,
             registry: Registry::new(),
             trace: TraceBuffer::new(cfg.trace_capacity),
+            spans: SpanLog::new(),
         }
     }
 
@@ -479,8 +555,10 @@ impl Telemetry {
     pub fn disabled() -> Self {
         Telemetry {
             level: TelemetryLevel::Off,
+            spans_on: false,
             registry: Registry::new(),
             trace: TraceBuffer::new(0),
+            spans: SpanLog::new(),
         }
     }
 
@@ -563,6 +641,67 @@ impl Telemetry {
         self.trace.push(build(TraceEvent::new(t, component, kind)));
     }
 
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn spans_enabled(&self) -> bool {
+        self.spans_on
+    }
+
+    /// Open a span named `name` covering simulated time from `at`, under
+    /// `parent` ([`SpanId::INVALID`] for a root), correlated by `key`.
+    /// Returns [`SpanId::INVALID`] (a no-op handle) when spans are off.
+    ///
+    /// `stamp` is the *current* queue time and only stamps the mirrored
+    /// trace event, keeping the trace monotone; `at` is the authoritative
+    /// span boundary and may lie in the future (the engine opens spans for
+    /// completions it schedules ahead of time), carried as the `at` payload
+    /// field — the same convention `pec/suspend` events use.
+    #[inline]
+    pub fn span_open(
+        &mut self,
+        stamp: f64,
+        at: f64,
+        name: &'static str,
+        parent: SpanId,
+        key: u64,
+    ) -> SpanId {
+        if !self.spans_on {
+            return SpanId::INVALID;
+        }
+        let id = self.spans.open(name, parent, key, at);
+        if self.level == TelemetryLevel::Trace {
+            let mut ev = TraceEvent::new(stamp, "span", "open")
+                .u64("id", id.0)
+                .str("name", name)
+                .u64("key", key)
+                .f64("at", at);
+            if parent.is_valid() {
+                ev = ev.u64("parent", parent.0);
+            }
+            self.trace.push(ev);
+        }
+        id
+    }
+
+    /// Close span `id` at simulated second `at`; `stamp` as in
+    /// [`Telemetry::span_open`]. No-op for [`SpanId::INVALID`].
+    #[inline]
+    pub fn span_close(&mut self, stamp: f64, id: SpanId, at: f64) {
+        if !self.spans_on || !id.is_valid() {
+            return;
+        }
+        self.spans.close(id, at);
+        if self.level == TelemetryLevel::Trace {
+            self.trace
+                .push(TraceEvent::new(stamp, "span", "close").u64("id", id.0).f64("at", at));
+        }
+    }
+
+    /// Read access to the span log.
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
     /// Read access to the metric registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
@@ -612,6 +751,45 @@ mod tests {
         assert_eq!(h.min, 2.0);
         assert_eq!(h.max, 9.0);
         assert!((h.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        // Log-bucket quantiles: rank-4 of 8 lands in the 4.0 bucket; 9.0
+        // falls in the [8.0, 10.0) bucket whose representative is 8.0.
+        assert_eq!(h.p50, 4.0);
+        assert_eq!(h.p90, 8.0);
+        assert_eq!(h.p99, 8.0);
+    }
+
+    #[test]
+    fn quantiles_are_order_independent_and_bounded() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let xs = [0.0013, 7.25, 0.5, 1e-9, 42.0, 0.5, 3.0, 0.0];
+        for &x in &xs {
+            a.push(x);
+        }
+        for &x in xs.iter().rev() {
+            b.push(x);
+        }
+        // Welford mean/m2 accumulate in float order; only the bucket-based
+        // quantiles are exactly order-independent.
+        let (sa, sb) = (a.summary(), b.summary());
+        assert_eq!((sa.p50, sa.p90, sa.p99), (sb.p50, sb.p90, sb.p99));
+        // Representative is the bucket's lower edge: within 25% below the
+        // true quantile sample.
+        assert!(sa.p99 <= 42.0 && sa.p99 >= 42.0 * 0.75);
+        assert_eq!(Hist::new().summary().p50, 0.0);
+    }
+
+    #[test]
+    fn bucket_rep_is_lower_edge_within_25_percent() {
+        for &x in &[1e-12, 0.001, 0.37, 1.0, 1.999, 5.0, 123.456, 9e9] {
+            let rep = bucket_rep(bucket_key(x));
+            assert!(rep <= x, "rep {rep} above sample {x}");
+            assert!(rep > x * 0.75, "rep {rep} more than 25% below {x}");
+        }
+        assert_eq!(bucket_rep(bucket_key(0.0)), 0.0);
+        assert_eq!(bucket_rep(bucket_key(-3.0)), 0.0);
+        assert_eq!(bucket_rep(bucket_key(f64::NAN)), 0.0);
+        assert_eq!(bucket_rep(bucket_key(f64::INFINITY)), 0.0);
     }
 
     #[test]
@@ -698,9 +876,51 @@ mod tests {
         t.observe("y", 1.0);
         t.sample("z", 0.0, 1.0);
         t.event(0.0, "a", "b", |e| e.u64("f", 1));
+        let id = t.span_open(0.0, 0.0, "proc.compute", SpanId::INVALID, 1);
+        assert_eq!(id, SpanId::INVALID);
+        t.span_close(1.0, id, 1.0);
         assert_eq!(t.registry().counter("x"), 0);
         assert!(t.snapshot().is_none());
         assert!(t.trace().is_empty());
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn spans_are_opt_in_and_mirrored_to_trace() {
+        // Counters level without the spans flag: nothing recorded.
+        let mut t = Telemetry::new(&TelemetryConfig::at(TelemetryLevel::Counters));
+        let id = t.span_open(0.0, 0.0, "req.life", SpanId::INVALID, 9);
+        assert!(!id.is_valid());
+        assert!(!t.spans_enabled());
+
+        // Counters + spans: recorded in the log, not in the trace.
+        let mut t = Telemetry::new(&TelemetryConfig::at(TelemetryLevel::Counters).with_spans());
+        let id = t.span_open(0.0, 0.0, "req.life", SpanId::INVALID, 9);
+        assert!(id.is_valid());
+        t.span_close(0.5, id, 2.0);
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.spans().open_count(), 0);
+        assert!(t.trace().is_empty());
+
+        // Trace + spans: mirrored as span/open + span/close events with the
+        // authoritative time in the `at` payload.
+        let mut t = Telemetry::new(&TelemetryConfig::at(TelemetryLevel::Trace).with_spans());
+        let root = t.span_open(0.0, 0.0, "proc.compute", SpanId::INVALID, 3);
+        let child = t.span_open(0.25, 1.0, "req.life", root, 9);
+        t.span_close(0.25, child, 2.0);
+        t.span_close(3.0, root, 3.0);
+        assert_eq!(t.trace().len(), 4);
+        let evs: Vec<&TraceEvent> = t.trace().iter().collect();
+        assert_eq!((evs[0].component, evs[0].kind), ("span", "open"));
+        assert_eq!((evs[2].component, evs[2].kind), ("span", "close"));
+        assert!(evs[1]
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "parent" && *v == FieldValue::U64(root.0)));
+        assert!(evs[1]
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "at" && *v == FieldValue::F64(1.0)));
     }
 
     #[test]

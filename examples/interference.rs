@@ -60,6 +60,7 @@ fn run(adaptive: bool, scenario: &Scenario) {
         experiment = experiment.telemetry_config(TelemetryConfig {
             level: TelemetryLevel::Trace,
             trace_capacity: 1 << 22,
+            spans: false,
         });
     }
     let mut cluster = experiment.build().expect("valid experiment");

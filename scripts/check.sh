@@ -24,6 +24,24 @@ cargo run --release --offline -q -p dualpar-bench --example interference -- \
     --small --trace "$golden"
 ./target/release/dualpar-audit trace "$golden"
 
+# Profile smoke: run the profiler on the quickstart fixture, audit the
+# span stream (pairing/nesting/stage order), and baseline-diff the report
+# against the committed golden profile — any simulated-time drift (new
+# costs, reordered service, changed makespan) fails the gate. Regenerate
+# the golden on intentional changes (--trace matters: it sets the trace
+# counters embedded in the report):
+#   cargo run --release -p dualpar-bench --bin dualpar -- profile quickstart \
+#       --json --trace /dev/null > bench_results/PROFILE_quickstart_golden.json
+prof="$(mktemp -d /tmp/dualpar-prof.XXXXXX)"
+trap 'rm -f "$golden"; rm -rf "$prof"' EXIT
+cargo run --release --offline -q -p dualpar-bench --bin dualpar -- \
+    profile quickstart --json --trace "$prof/spans.jsonl" > "$prof/profile.json"
+./target/release/dualpar-audit trace "$prof/spans.jsonl"
+./target/release/dualpar-audit trace --baseline \
+    bench_results/PROFILE_quickstart_golden.json "$prof/profile.json" \
+    --max-regress-pct 0
+cmp bench_results/PROFILE_quickstart_golden.json "$prof/profile.json"
+
 # Criterion smoke: run each hot-path benchmark body once (`--test` mode of
 # the vendored criterion stub) so a bench-only compile break or panic fails
 # the gate without paying for timed samples.
@@ -34,7 +52,7 @@ cargo bench --offline -p dualpar-bench --bench hot_path -- --test
 # report divergence between --jobs N and serial). Timed so engine-speed
 # regressions show up in the log (see docs/BENCH.md).
 suite_out="$(mktemp -d /tmp/dualpar-suite.XXXXXX)"
-trap 'rm -f "$golden"; rm -rf "$suite_out"' EXIT
+trap 'rm -f "$golden"; rm -rf "$prof" "$suite_out"' EXIT
 time cargo run --release --offline -q -p dualpar-bench --bin dualpar -- \
     suite --jobs "$(nproc)" --scale small --verify-serial \
     --out "$suite_out/BENCH_suite.json"

@@ -108,6 +108,7 @@ fn traced_run(script: &ProgramScript, strategy: IoStrategy, sched: SchedulerKind
         .telemetry_config(TelemetryConfig {
             level: TelemetryLevel::Trace,
             trace_capacity: 1 << 20,
+            spans: true,
         })
         .file("f", FILE_SIZE)
         .program(strategy, move |files| {
@@ -158,13 +159,20 @@ proptest! {
 
     /// Every disk scheduler yields a trace the auditor accepts: monotone
     /// time, exclusive per-server disk service, paired PEC suspend/resume,
-    /// legal EMC transitions, balanced cache ledger.
+    /// legal EMC transitions, balanced cache ledger — and, since spans are
+    /// on, fully-paired well-nested spans whose request stages appear in
+    /// pipeline order (the auditor's span-pairing / span-nesting /
+    /// span-stage-order checks).
     #[test]
     fn random_workloads_audit_clean((_nprocs, bodies) in gen_program()) {
         let rank_region = FILE_SIZE / bodies.len() as u64;
         let script = build_script(&bodies, rank_region);
         for sched in ALL_SCHEDULERS {
             let cluster = traced_run(&script, IoStrategy::DualPar, sched);
+            // The span property must not pass vacuously: state spans are
+            // recorded for every run (request spans need actual I/O).
+            prop_assert!(!cluster.telemetry().spans().is_empty());
+            prop_assert_eq!(cluster.telemetry().spans().open_count(), 0);
             let report = audit_buffer(cluster.telemetry().trace(), AuditConfig::default());
             prop_assert!(
                 report.ok(),

@@ -109,6 +109,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// `Value` round-trips through itself, so callers can work with
+// schema-less JSON (`serde_json::from_str::<Value>`).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Serialize impls
 // ---------------------------------------------------------------------------
