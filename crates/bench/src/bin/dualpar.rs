@@ -30,25 +30,44 @@
 //! cargo run --release -p dualpar-bench --bin dualpar -- suite \
 //!     --verify-serial                 # re-run serially, compare reports
 //! cargo run --release -p dualpar-bench --bin dualpar -- suite \
-//!     --filter btio                   # only entries whose name matches
+//!     --filter btio                   # entries whose name contains "btio"
+//! cargo run --release -p dualpar-bench --bin dualpar -- suite \
+//!     --filter-exact btio_dualpar     # exactly this entry
+//! cargo run --release -p dualpar-bench --bin dualpar -- suite \
+//!     --spec scenario.json            # entries from a JSON spec file
 //! ```
 //!
 //! A specification names the cluster configuration (all fields optional —
-//! defaults are the paper's platform) and a list of programs, each a
-//! workload from the benchmark suite plus an I/O strategy and start time:
+//! defaults are the paper's platform), a list of programs — each a workload
+//! plus an I/O strategy and start time — and optional open-loop `arrivals`
+//! streams. Workloads are either named benchmark presets or `dsl`
+//! expressions (see `docs/WORKLOADS.md`):
 //!
 //! ```json
 //! {
+//!   "version": 1,
 //!   "cluster": { "num_data_servers": 9 },
 //!   "programs": [
 //!     { "workload": { "mpi_io_test": { "nprocs": 64, "file_size": 268435456 } },
 //!       "strategy": "DualPar", "start_secs": 0.0 }
+//!   ],
+//!   "arrivals": [
+//!     { "workload": { "dsl": { "name": "hot", "nprocs": 8,
+//!         "expr": { "pattern": { "ops": 64,
+//!                                "offsets": { "zipf_hotspot": { "theta": 0.99 } } } } } },
+//!       "strategy": "DualPar",
+//!       "arrivals": { "process": { "poisson": { "rate_per_sec": 0.5 } },
+//!                     "horizon_secs": 10.0, "seed": 7 } }
 //!   ]
 //! }
 //! ```
+//!
+//! `suite --spec` also accepts a whole-suite document,
+//! `{"entries": [{"name": ..., "spec": {...}}, ...]}`.
 
 use dualpar_bench::suite::{
-    builtin_suite, filter_entries, run_entry, run_parallel, summarize, Scale,
+    builtin_suite, entries_from_spec_json, filter_entries, run_entry, run_parallel, summarize,
+    Scale,
 };
 use dualpar_bench::{build_cluster, ExperimentSpec};
 use dualpar_cluster::TelemetryLevel;
@@ -118,7 +137,7 @@ fn main() {
         eprintln!(
             "usage: dualpar <spec.json> [--telemetry off|counters|trace] [--trace <out.jsonl>]"
         );
-        eprintln!("       dualpar suite [--jobs N] [--scale small|paper] [--out <path>] [--filter <substr>] [--verify-serial]");
+        eprintln!("       dualpar suite [--jobs N] [--scale small|paper] [--spec <path>] [--out <path>] [--filter <substr>] [--filter-exact <name>] [--verify-serial]");
         eprintln!("       (or --example to print a spec template)");
         std::process::exit(2);
     };
@@ -126,14 +145,11 @@ fn main() {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
-    let mut spec: ExperimentSpec = serde_json::from_str(&data).unwrap_or_else(|e| {
+    // Parses, schema-migrates (v0 specs load unchanged), and validates.
+    let mut spec = ExperimentSpec::from_json(&data).unwrap_or_else(|e| {
         eprintln!("invalid spec: {e}");
         std::process::exit(1);
     });
-    if spec.programs.is_empty() {
-        eprintln!("spec has no programs");
-        std::process::exit(1);
-    }
     // Command-line telemetry flags override the spec: --trace needs the
     // full event stream, --telemetry picks the level explicitly.
     if let Some(level) = telemetry {
@@ -206,19 +222,54 @@ fn run_suite_command(mut args: Vec<String>) {
     let out_path = take_flag(&mut args, "--out")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| dualpar_bench::results_dir().join("BENCH_suite.json"));
+    let spec_path = take_flag(&mut args, "--spec");
     let filter = take_flag(&mut args, "--filter");
+    let filter_exact = take_flag(&mut args, "--filter-exact");
     let verify_serial = take_switch(&mut args, "--verify-serial");
-    reject_unknown_flags(&args, "--jobs, --scale, --out, --filter or --verify-serial");
+    reject_unknown_flags(
+        &args,
+        "--jobs, --scale, --spec, --out, --filter, --filter-exact or --verify-serial",
+    );
     if args.len() > 1 {
         eprintln!("unexpected argument {:?}", args[1]);
         std::process::exit(2);
     }
+    if filter.is_some() && filter_exact.is_some() {
+        eprintln!("--filter and --filter-exact are mutually exclusive");
+        std::process::exit(2);
+    }
 
-    let mut entries = builtin_suite(scale);
-    if let Some(f) = &filter {
-        entries = filter_entries(entries, f);
+    let mut entries = match &spec_path {
+        None => builtin_suite(scale),
+        Some(path) => {
+            let data = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "spec".to_string());
+            entries_from_spec_json(&data, &stem).unwrap_or_else(|e| {
+                eprintln!("invalid suite spec {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+    };
+    let (pattern, exact) = match (&filter, &filter_exact) {
+        (Some(f), None) => (f.as_str(), false),
+        (None, Some(f)) => (f.as_str(), true),
+        _ => ("", false),
+    };
+    if !pattern.is_empty() {
+        let available: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+        entries = filter_entries(entries, pattern, exact);
         if entries.is_empty() {
-            eprintln!("--filter {f:?} matches no suite entries");
+            let flag = if exact { "--filter-exact" } else { "--filter" };
+            eprintln!(
+                "{flag} {pattern:?} matches no suite entries; available: {}",
+                available.join(", ")
+            );
             std::process::exit(2);
         }
     }
@@ -371,7 +422,7 @@ fn resolve_profile_target(target: &str) -> ExperimentSpec {
             eprintln!("cannot read {target}: {e}");
             std::process::exit(1);
         });
-        return serde_json::from_str(&data).unwrap_or_else(|e| {
+        return ExperimentSpec::from_json(&data).unwrap_or_else(|e| {
             eprintln!("invalid spec: {e}");
             std::process::exit(1);
         });

@@ -14,16 +14,18 @@ use serde::Serialize;
 use std::path::PathBuf;
 
 pub mod experiments;
+pub mod registry;
 pub mod spec;
 pub mod suite;
 
+pub use registry::{known_tags, PresetEntry, Workload, PRESETS};
 pub use spec::{
-    add_workload, build_cluster, expected_cost, workload_cost, ExperimentSpec, ProgramEntry,
-    WorkloadSpec,
+    add_workload, build_cluster, expected_cost, workload_cost, ArrivalEntry, ExperimentSpec,
+    ProgramEntry, WorkloadSpec, SPEC_VERSION,
 };
 pub use suite::{
-    builtin_suite, filter_entries, parallel_map, parallel_map_prioritized, run_entry, run_parallel,
-    summarize, Scale, SuiteEntry, SuiteRun, SuiteSummary,
+    builtin_suite, entries_from_spec_json, filter_entries, parallel_map, parallel_map_prioritized,
+    run_entry, run_parallel, summarize, Scale, SuiteEntry, SuiteRun, SuiteSummary,
 };
 
 /// `--jobs N` from the process arguments, defaulting to the machine's

@@ -29,7 +29,7 @@ use dualpar_cluster::prelude::IoKind;
 use dualpar_cluster::{IoStrategy, RunReport, TelemetryLevel};
 use dualpar_sim::FxHasher;
 use dualpar_workloads::{Btio, Hpio, IorMpiIo, MpiIoTest, Noncontig, S3asim};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -210,16 +210,67 @@ pub fn run_parallel(entries: &[SuiteEntry], jobs: usize) -> Vec<SuiteRun> {
     parallel_map_prioritized(entries, jobs, &costs, |_, e| run_entry(e))
 }
 
-/// Keep the entries whose name contains `filter` (substring match), in
-/// their original order. An empty filter keeps everything.
-pub fn filter_entries(entries: Vec<SuiteEntry>, filter: &str) -> Vec<SuiteEntry> {
+/// Keep the entries whose name matches `filter`, in their original order:
+/// substring containment by default, whole-name equality when `exact`. An
+/// empty filter keeps everything (even under `exact` — there is nothing to
+/// select by).
+pub fn filter_entries(entries: Vec<SuiteEntry>, filter: &str, exact: bool) -> Vec<SuiteEntry> {
     if filter.is_empty() {
         return entries;
     }
     entries
         .into_iter()
-        .filter(|e| e.name.contains(filter))
+        .filter(|e| {
+            if exact {
+                e.name == filter
+            } else {
+                e.name.contains(filter)
+            }
+        })
         .collect()
+}
+
+/// Parse suite entries from a JSON document: either a whole suite
+/// (`{"entries": [{"name": ..., "spec": {...}}, ...]}`) or a bare
+/// [`ExperimentSpec`], which becomes a single entry named `fallback_name`.
+/// Every spec is schema-migrated and validated on the way in.
+pub fn entries_from_spec_json(
+    json: &str,
+    fallback_name: &str,
+) -> Result<Vec<SuiteEntry>, String> {
+    let doc: serde::Value =
+        serde_json::from_str(json).map_err(|e| format!("invalid spec JSON: {e}"))?;
+    let suite_entries = doc
+        .as_map()
+        .and_then(|m| serde::find_field(m, "entries"))
+        .and_then(serde::Value::as_seq);
+    let Some(items) = suite_entries else {
+        // Not a suite document: parse the whole thing as one experiment.
+        let spec = ExperimentSpec::from_json(json)?;
+        return Ok(vec![SuiteEntry::new(fallback_name, spec)]);
+    };
+    let mut entries = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let map = item
+            .as_map()
+            .ok_or_else(|| format!("entries[{i}]: expected an object"))?;
+        let name = serde::find_field(map, "name")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| format!("entries[{i}]: missing string field \"name\""))?;
+        let spec_value = serde::find_field(map, "spec")
+            .ok_or_else(|| format!("entries[{i}] ({name}): missing field \"spec\""))?;
+        let spec = ExperimentSpec::from_value(spec_value)
+            .map_err(|e| format!("entries[{i}] ({name}): {e}"))?
+            .upgrade()
+            .map_err(|e| format!("entries[{i}] ({name}): {e}"))?;
+        spec.validate()
+            .map_err(|e| format!("entries[{i}] ({name}): {e}"))?;
+        entries.push(SuiteEntry::new(name, spec));
+    }
+    if entries.is_empty() {
+        return Err("suite document has an empty \"entries\" list".into());
+    }
+    Ok(entries)
 }
 
 /// Short stable fingerprint of a serialized report, for summaries and
@@ -336,7 +387,7 @@ pub fn builtin_suite(scale: Scale) -> Vec<SuiteEntry> {
     let workloads: Vec<(&str, WorkloadSpec)> = vec![
         (
             "mpiio",
-            WorkloadSpec::MpiIoTest(MpiIoTest {
+            WorkloadSpec::named(MpiIoTest {
                 nprocs,
                 file_size: shrink(2 << 30, 32 << 20),
                 ..Default::default()
@@ -344,7 +395,7 @@ pub fn builtin_suite(scale: Scale) -> Vec<SuiteEntry> {
         ),
         (
             "hpio",
-            WorkloadSpec::Hpio(Hpio {
+            WorkloadSpec::named(Hpio {
                 nprocs,
                 region_count: shrink(4096, 256),
                 ..Default::default()
@@ -352,7 +403,7 @@ pub fn builtin_suite(scale: Scale) -> Vec<SuiteEntry> {
         ),
         (
             "ior",
-            WorkloadSpec::IorMpiIo(IorMpiIo {
+            WorkloadSpec::named(IorMpiIo {
                 nprocs,
                 file_size: shrink(16 << 30, 64 << 20),
                 ..Default::default()
@@ -360,7 +411,7 @@ pub fn builtin_suite(scale: Scale) -> Vec<SuiteEntry> {
         ),
         (
             "noncontig",
-            WorkloadSpec::Noncontig(Noncontig {
+            WorkloadSpec::named(Noncontig {
                 nprocs,
                 rows: shrink(8192, 512),
                 ..Default::default()
@@ -368,7 +419,7 @@ pub fn builtin_suite(scale: Scale) -> Vec<SuiteEntry> {
         ),
         (
             "btio",
-            WorkloadSpec::Btio(Btio {
+            WorkloadSpec::named(Btio {
                 nprocs,
                 dataset: shrink(6800 << 20, 16 << 20),
                 steps: shrink(40, 4),
@@ -378,7 +429,7 @@ pub fn builtin_suite(scale: Scale) -> Vec<SuiteEntry> {
         ),
         (
             "s3asim",
-            WorkloadSpec::S3asim(S3asim {
+            WorkloadSpec::named(S3asim {
                 nprocs,
                 queries: shrink(16, 4),
                 db_size: shrink(1 << 30, 64 << 20),
@@ -399,6 +450,7 @@ pub fn builtin_suite(scale: Scale) -> Vec<SuiteEntry> {
                         strategy,
                         start_secs: 0.0,
                     }],
+                    ..Default::default()
                 },
             ));
         }
@@ -406,7 +458,7 @@ pub fn builtin_suite(scale: Scale) -> Vec<SuiteEntry> {
     // Interference pair (the Fig. 7 shape): two MPI-IO apps sharing the
     // cluster, the second starting mid-flight of the first.
     let pair = |strategy| ProgramEntry {
-        workload: WorkloadSpec::MpiIoTest(MpiIoTest {
+        workload: WorkloadSpec::named(MpiIoTest {
             nprocs,
             file_size: shrink(1 << 30, 16 << 20),
             ..Default::default()
@@ -425,6 +477,7 @@ pub fn builtin_suite(scale: Scale) -> Vec<SuiteEntry> {
                     ..pair(IoStrategy::DualPar)
                 },
             ],
+            ..Default::default()
         },
     ));
     entries
@@ -490,13 +543,48 @@ mod tests {
     fn filter_entries_matches_substrings() {
         let entries = builtin_suite(Scale::Small);
         let total = entries.len();
-        let mpiio = filter_entries(builtin_suite(Scale::Small), "mpiio");
+        let mpiio = filter_entries(builtin_suite(Scale::Small), "mpiio", false);
         assert_eq!(mpiio.len(), 2);
         assert!(mpiio.iter().all(|e| e.name.contains("mpiio")));
-        let all = filter_entries(builtin_suite(Scale::Small), "");
+        let all = filter_entries(builtin_suite(Scale::Small), "", false);
         assert_eq!(all.len(), total);
-        let none = filter_entries(entries, "no_such_entry");
+        let none = filter_entries(entries, "no_such_entry", false);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn filter_entries_exact_matches_whole_names() {
+        // "mpiio_vanilla" is a substring-mode hit for "mpiio", so exact
+        // mode must reject the prefix and accept only the full name.
+        let one = filter_entries(builtin_suite(Scale::Small), "mpiio_vanilla", true);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name, "mpiio_vanilla");
+        let none = filter_entries(builtin_suite(Scale::Small), "mpiio", true);
+        assert!(none.is_empty());
+        let all = filter_entries(builtin_suite(Scale::Small), "", true);
+        assert_eq!(all.len(), builtin_suite(Scale::Small).len());
+    }
+
+    #[test]
+    fn entries_from_spec_json_accepts_both_shapes() {
+        // A bare experiment becomes one entry under the fallback name.
+        let single = serde_json::to_string(&ExperimentSpec::default()).expect("json");
+        let entries = entries_from_spec_json(&single, "solo").expect("bare spec loads");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "solo");
+        // A suite document yields one entry per element, keeping names.
+        let suite = format!(
+            r#"{{"entries": [{{"name": "a", "spec": {single}}}, {{"name": "b", "spec": {single}}}]}}"#
+        );
+        let entries = entries_from_spec_json(&suite, "ignored").expect("suite loads");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "a");
+        assert_eq!(entries[1].name, "b");
+        // Bad documents fail with a located message.
+        let broken = r#"{"entries": [{"spec": {}}]}"#;
+        let err = entries_from_spec_json(broken, "x").expect_err("missing name");
+        assert!(err.contains("entries[0]"), "{err}");
+        assert!(entries_from_spec_json(r#"{"entries": []}"#, "x").is_err());
     }
 
     #[test]

@@ -218,6 +218,14 @@ impl Experiment {
         self
     }
 
+    /// Number of files declared so far. Extension layers that pair each
+    /// program instance with a freshly declared file use this to compute the
+    /// index the instance's [`FileId`] will occupy in the slice passed to
+    /// program closures.
+    pub fn files_declared(&self) -> usize {
+        self.files.len()
+    }
+
     /// Add a program starting at time zero. The closure receives the ids of
     /// every declared file (in `file()` order) and returns the program's
     /// script.
@@ -241,6 +249,32 @@ impl Experiment {
             start_at,
             script: Box::new(script),
         });
+        self
+    }
+
+    /// Open-loop admission: add one program per entry of `starts`, all
+    /// built by a shared factory. Instance `i` is submitted at `starts[i]`;
+    /// the factory receives the instance index plus the full declared-file
+    /// slice, so each instance can build a distinct (e.g. reseeded) script
+    /// against its own file. This is the builder-level hook for arrival
+    /// processes: callers expand an arrival process into concrete start
+    /// times up front, keeping the assembled cluster a pure function of
+    /// those times.
+    pub fn program_instances(
+        mut self,
+        strategy: IoStrategy,
+        starts: &[SimTime],
+        factory: impl Fn(usize, &[FileId]) -> ProgramScript + 'static,
+    ) -> Self {
+        let factory = std::rc::Rc::new(factory);
+        for (i, &start_at) in starts.iter().enumerate() {
+            let f = std::rc::Rc::clone(&factory);
+            self.programs.push(ProgramDef {
+                strategy,
+                start_at,
+                script: Box::new(move |files| f(i, files)),
+            });
+        }
         self
     }
 
@@ -398,6 +432,32 @@ mod tests {
             Some(128 * 1024),
             "telemetry byte counter must reconcile with the program report"
         );
+    }
+
+    #[test]
+    fn program_instances_admits_one_program_per_start() {
+        let starts = [
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        ];
+        let report = Experiment::darwin()
+            .servers(3)
+            .file("a", 1 << 20)
+            .file("b", 1 << 20)
+            .file("c", 1 << 20)
+            .program_instances(IoStrategy::Vanilla, &starts, |i, files| {
+                let mut s = reader(&[files[i]]);
+                s.name = format!("inst-{i}");
+                s
+            })
+            .run()
+            .expect("valid experiment");
+        assert_eq!(report.programs.len(), 3);
+        for (i, p) in report.programs.iter().enumerate() {
+            assert_eq!(p.name, format!("inst-{i}"));
+            assert!(p.start >= starts[i], "instance {i} started before its arrival");
+        }
     }
 
     #[test]

@@ -42,6 +42,35 @@ cargo run --release --offline -q -p dualpar-bench --bin dualpar -- \
     --max-regress-pct 0
 cmp bench_results/PROFILE_quickstart_golden.json "$prof/profile.json"
 
+# DSL smoke: build the committed 3-tenant mixed scenario (workload DSL +
+# Poisson arrivals, see docs/WORKLOADS.md) from JSON, run it with a trace,
+# audit every simulation invariant over the trace, and baseline-diff +
+# byte-compare the report against the committed golden. Regenerate the
+# golden on intentional changes:
+#   cargo run --release -p dualpar-bench --bin dualpar -- \
+#       examples/specs/multitenant.json --trace /dev/null \
+#       > bench_results/GOLDEN_dsl_multitenant.json
+dsl="$(mktemp -d /tmp/dualpar-dsl.XXXXXX)"
+trap 'rm -f "$golden"; rm -rf "$prof" "$dsl"' EXIT
+cargo run --release --offline -q -p dualpar-bench --bin dualpar -- \
+    examples/specs/multitenant.json --trace "$dsl/trace.jsonl" > "$dsl/report.json"
+./target/release/dualpar-audit trace "$dsl/trace.jsonl"
+./target/release/dualpar-audit trace --baseline \
+    bench_results/GOLDEN_dsl_multitenant.json "$dsl/report.json" \
+    --max-regress-pct 0
+cmp bench_results/GOLDEN_dsl_multitenant.json "$dsl/report.json"
+# The same scenario through the parallel suite runner: reports must be
+# byte-identical between --jobs 4 and the serial twin.
+cargo run --release --offline -q -p dualpar-bench --bin dualpar -- \
+    suite --spec examples/specs/multitenant.json --jobs 4 --verify-serial \
+    --out "$dsl/suite.json"
+# Schema-migration smoke: the committed v0-era specs (no version field,
+# closed-enum-era workload tags) must still load and run.
+cargo run --release --offline -q -p dualpar-bench --bin dualpar -- \
+    examples/specs/quickstart_v0.json > /dev/null
+cargo run --release --offline -q -p dualpar-bench --bin dualpar -- \
+    examples/specs/interference_v0.json > /dev/null
+
 # Criterion smoke: run each hot-path benchmark body once (`--test` mode of
 # the vendored criterion stub) so a bench-only compile break or panic fails
 # the gate without paying for timed samples.
@@ -52,7 +81,7 @@ cargo bench --offline -p dualpar-bench --bench hot_path -- --test
 # report divergence between --jobs N and serial). Timed so engine-speed
 # regressions show up in the log (see docs/BENCH.md).
 suite_out="$(mktemp -d /tmp/dualpar-suite.XXXXXX)"
-trap 'rm -f "$golden"; rm -rf "$prof" "$suite_out"' EXIT
+trap 'rm -f "$golden"; rm -rf "$prof" "$dsl" "$suite_out"' EXIT
 time cargo run --release --offline -q -p dualpar-bench --bin dualpar -- \
     suite --jobs "$(nproc)" --scale small --verify-serial \
     --out "$suite_out/BENCH_suite.json"

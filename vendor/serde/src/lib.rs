@@ -10,7 +10,7 @@
 //!   tagged), via the sibling `serde_derive` stub;
 //! - container-level `#[serde(default)]` and `#[serde(rename_all =
 //!   "snake_case")]`, field-level `#[serde(default)]`;
-//! - impls for primitives, `String`, `Option`, `Vec`, tuples, and
+//! - impls for primitives, `String`, `Option`, `Box`, `Vec`, tuples, and
 //!   string-keyed maps.
 //!
 //! Instead of real serde's visitor architecture, everything funnels through
@@ -184,6 +184,12 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -318,6 +324,12 @@ impl Deserialize for String {
             Value::Str(s) => Ok(s.clone()),
             other => Err(want(other, "string")),
         }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
     }
 }
 
