@@ -1,0 +1,323 @@
+//! Attribute-aware item extents over a token stream.
+//!
+//! The lint rules must not fire on test-only code, so for every token we
+//! compute a *cfg mask*: is this token inside the extent of an item carrying
+//! `#[cfg(test)]` (or, separately, `#[cfg(feature = …)]`)? The extent
+//! computation works on the [`lexer`](crate::lexer) token stream, which makes
+//! it immune to the failure modes of the old line-based tracker:
+//!
+//! - comments between the attribute and its item are tokens we skip, so a
+//!   doc comment (or a block comment containing `{`) can no longer anchor
+//!   the extent;
+//! - stacked attributes (`#[cfg(test)]` + `#[allow(…)]` + `#[path = …]`)
+//!   are folded together before the item is located, so a second attribute
+//!   whose line happens to complete the item can no longer leave a
+//!   "pending cfg" flag dangling over the *next* item.
+//!
+//! An item's extent runs from its first attribute to the first `;`, `,` or
+//! matching close-brace at delimiter depth zero (commas terminate so that
+//! field/variant attributes do not bleed onto their siblings). `cfg(not(…))`
+//! groups are ignored when classifying an attribute, so `#[cfg(not(test))]`
+//! production code is still linted. Masks nest: extents found *inside* a
+//! masked extent OR their flags over the inner range.
+
+use crate::lexer::{TokKind, Token};
+
+/// Mask bit: token is inside a `#[cfg(test)]` extent (rules skip these).
+pub const MASK_TEST: u8 = 1;
+/// Mask bit: token is inside a `#[cfg(feature = …)]` extent (still linted,
+/// recorded for diagnostics).
+pub const MASK_FEATURE: u8 = 2;
+
+/// Parsed outer attribute: cfg flags plus the index one past its `]`.
+struct Attr {
+    flags: u8,
+    /// One past the closing `]`, or `toks.len()` if unterminated.
+    end: usize,
+    /// `#![…]` inner attribute — never anchors an item extent.
+    inner: bool,
+}
+
+/// Parse the attribute starting at `toks[i]` (which must be `#`).
+fn parse_attr(src: &str, toks: &[Token], i: usize) -> Option<Attr> {
+    let mut j = i + 1;
+    let inner = toks.get(j).and_then(|t| t.punct(src)) == Some('!');
+    if inner {
+        j += 1;
+    }
+    if toks.get(j).and_then(|t| t.punct(src)) != Some('[') {
+        return None;
+    }
+    j += 1;
+    // Attribute classification: the first ident must be `cfg`/`cfg_attr`,
+    // then any `test`/`feature` ident *outside* `not(…)` groups sets a flag.
+    let mut flags = 0u8;
+    let mut is_cfg = false;
+    let mut seen_first_ident = false;
+    let mut depth = 1usize; // bracket+paren depth inside the attribute
+    let mut not_depths: Vec<usize> = Vec::new();
+    let mut pending_not = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Ident => {
+                let text = t.text(src);
+                if !seen_first_ident {
+                    seen_first_ident = true;
+                    is_cfg = text == "cfg" || text == "cfg_attr";
+                }
+                if is_cfg && not_depths.is_empty() {
+                    match text {
+                        "test" => flags |= MASK_TEST,
+                        "feature" => flags |= MASK_FEATURE,
+                        _ => {}
+                    }
+                }
+                pending_not = text == "not";
+            }
+            TokKind::Punct => {
+                match t.punct(src) {
+                    Some('(') | Some('[') => {
+                        depth += 1;
+                        if pending_not {
+                            not_depths.push(depth);
+                            pending_not = false;
+                        }
+                    }
+                    Some(')') | Some(']') => {
+                        if not_depths.last() == Some(&depth) {
+                            not_depths.pop();
+                        }
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(Attr { flags, end: j + 1, inner });
+                        }
+                    }
+                    _ => {}
+                }
+                if t.punct(src) != Some('(') {
+                    pending_not = false;
+                }
+            }
+            _ => pending_not = false,
+        }
+        j += 1;
+    }
+    Some(Attr { flags, end: toks.len(), inner })
+}
+
+/// Find the index of the last token of the item anchored at `start`
+/// (the first non-comment, non-attribute token after the attributes).
+///
+/// The item ends at the first `;` or `,` at delimiter depth zero, or at the
+/// `}` matching the first brace opened at depth zero. If the enclosing
+/// scope closes first (depth would go negative — e.g. an attribute on the
+/// last variant of an enum), the extent ends just before that closer.
+fn item_end(src: &str, toks: &[Token], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut brace_item = false; // a `{` was opened at depth 0
+    let mut k = start;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.punct(src) {
+                Some('(') | Some('[') => depth += 1,
+                Some('{') => {
+                    if depth == 0 {
+                        brace_item = true;
+                    }
+                    depth += 1;
+                }
+                Some(')') | Some(']') | Some('}') => {
+                    if depth == 0 {
+                        // Enclosing scope closed before the item did.
+                        return k.saturating_sub(1).max(start);
+                    }
+                    depth -= 1;
+                    if depth == 0 && brace_item {
+                        return k;
+                    }
+                }
+                Some(';') | Some(',') if depth == 0 => return k,
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    toks.len() - 1
+}
+
+/// Compute the per-token cfg mask ([`MASK_TEST`] / [`MASK_FEATURE`] bits).
+pub fn cfg_mask(src: &str, toks: &[Token]) -> Vec<u8> {
+    let mut mask = vec![0u8; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct && t.punct(src) == Some('#') {
+            if let Some(attr) = parse_attr(src, toks, i) {
+                if !attr.inner && attr.flags != 0 {
+                    // Fold in stacked attributes and skip interleaved
+                    // comments to find the item this cfg applies to.
+                    let mut flags = attr.flags;
+                    let mut j = attr.end;
+                    loop {
+                        while j < toks.len() && toks[j].is_comment() {
+                            j += 1;
+                        }
+                        if j < toks.len()
+                            && toks[j].kind == TokKind::Punct
+                            && toks[j].punct(src) == Some('#')
+                        {
+                            match parse_attr(src, toks, j) {
+                                Some(a) if !a.inner => {
+                                    flags |= a.flags;
+                                    j = a.end;
+                                    continue;
+                                }
+                                _ => break,
+                            }
+                        }
+                        break;
+                    }
+                    if j < toks.len() {
+                        let end = item_end(src, toks, j);
+                        for m in &mut mask[i..=end] {
+                            *m |= flags;
+                        }
+                    } else {
+                        for m in &mut mask[i..] {
+                            *m |= flags;
+                        }
+                    }
+                }
+                // Re-scan from just inside the attribute's extent so nested
+                // cfg attributes (e.g. a mod within a masked mod) are found;
+                // advancing past the attribute itself is enough.
+                i = attr.end.max(i + 1);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// For each named marker ident, whether it is test-masked.
+    fn masked(src: &str, names: &[&str]) -> Vec<bool> {
+        let toks = lex(src);
+        let mask = cfg_mask(src, &toks);
+        names
+            .iter()
+            .map(|n| {
+                let (idx, _) = toks
+                    .iter()
+                    .enumerate()
+                    .find(|(_, t)| t.kind == TokKind::Ident && t.text(src) == *n)
+                    .unwrap_or_else(|| panic!("marker {n} not found"));
+                mask[idx] & MASK_TEST != 0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_test_mod_is_masked_following_item_is_not() {
+        let src = "#[cfg(test)]\nmod tests { fn helper() { inside(); } }\nfn real() { outside(); }";
+        assert_eq!(masked(src, &["inside", "outside"]), vec![true, false]);
+    }
+
+    #[test]
+    fn regression_stacked_attribute_one_liner_does_not_leak() {
+        // Old tracker bug: a second `#[…]` line that completes the item on
+        // the same line left the pending flag set, masking the NEXT item.
+        let src = "#[cfg(test)]\n#[allow(dead_code)] fn helper() { inside(); }\nfn real() { outside(); }";
+        assert_eq!(masked(src, &["inside", "outside"]), vec![true, false]);
+        let src = "#[cfg(test)]\n#[path = \"t.rs\"]\nmod tests;\nfn real() { outside(); }";
+        assert_eq!(masked(src, &["outside"]), vec![false]);
+    }
+
+    #[test]
+    fn regression_comments_between_attr_and_item_do_not_anchor() {
+        // Old tracker bug: `sanitize()` never stripped block comments, so a
+        // `{` inside one anchored the extent on the comment.
+        let src = "#[cfg(test)]\n/* stray { brace */\nfn helper() { inside(); }\nfn real() { outside(); }";
+        assert_eq!(masked(src, &["inside", "outside"]), vec![true, false]);
+        let src = "#[cfg(test)]\n/// doc { comment }\nmod tests { fn f() { inside(); } }\nfn real() { outside(); }";
+        assert_eq!(masked(src, &["inside", "outside"]), vec![true, false]);
+    }
+
+    #[test]
+    fn semicolon_items_end_at_the_semicolon() {
+        let src = "#[cfg(test)]\nuse helper_only::thing;\nfn real() { outside(); }";
+        assert_eq!(masked(src, &["outside"]), vec![false]);
+    }
+
+    #[test]
+    fn inner_attributes_do_not_anchor_extents() {
+        let src = "#![deny(missing_docs)]\nfn real() { outside(); }";
+        assert_eq!(masked(src, &["outside"]), vec![false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nfn real() { outside(); }";
+        assert_eq!(masked(src, &["outside"]), vec![false]);
+        // …but `any(test, …)` still masks.
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() { inside(); }";
+        assert_eq!(masked(src, &["inside"]), vec![true]);
+    }
+
+    #[test]
+    fn feature_strings_are_not_test_idents() {
+        let toks_src = "#[cfg(feature = \"test-utils\")]\nfn gated() { inside(); }";
+        assert_eq!(masked(toks_src, &["inside"]), vec![false]);
+        let toks = lex(toks_src);
+        let mask = cfg_mask(toks_src, &toks);
+        let idx = toks
+            .iter()
+            .position(|t| t.kind == TokKind::Ident && t.text(toks_src) == "inside")
+            .unwrap();
+        assert_ne!(mask[idx] & MASK_FEATURE, 0);
+    }
+
+    #[test]
+    fn variant_and_field_attributes_stop_at_commas() {
+        let src = "enum E { #[cfg(test)] OnlyTests, Real }\nfn real() { outside(); }";
+        assert_eq!(masked(src, &["Real", "outside"]), vec![false, false]);
+        let toks = lex(src);
+        let mask = cfg_mask(src, &toks);
+        let idx = toks
+            .iter()
+            .position(|t| t.text(src) == "OnlyTests")
+            .unwrap();
+        assert_ne!(mask[idx] & MASK_TEST, 0);
+    }
+
+    #[test]
+    fn attribute_on_last_variant_does_not_escape_the_enum() {
+        let src = "enum E { A, #[cfg(test)] Last }\nfn real() { outside(); }";
+        assert_eq!(masked(src, &["outside"]), vec![false]);
+    }
+
+    #[test]
+    fn nested_extents_or_their_flags() {
+        let src = "#[cfg(test)]\nmod tests {\n  #[cfg(feature = \"slow\")]\n  fn f() { inside(); }\n}";
+        let toks = lex(src);
+        let mask = cfg_mask(src, &toks);
+        let idx = toks
+            .iter()
+            .position(|t| t.kind == TokKind::Ident && t.text(src) == "inside")
+            .unwrap();
+        assert_eq!(mask[idx], MASK_TEST | MASK_FEATURE);
+    }
+
+    #[test]
+    fn raw_string_hash_does_not_start_an_attribute() {
+        let src = "fn real() { let s = r#\"[cfg(test)]\"#; outside(); }";
+        assert_eq!(masked(src, &["outside"]), vec![false]);
+    }
+}

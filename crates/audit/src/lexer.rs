@@ -1,0 +1,552 @@
+//! Hand-rolled Rust lexer for the source-lint pass.
+//!
+//! The lint engine needs to reason about *tokens*, not lines: a
+//! `.unwrap()` inside a raw string or a nested block comment is not code,
+//! `'a` is a lifetime while `'a'` is a char literal, and a `#[cfg(test)]`
+//! attribute's extent can only be tracked reliably over a token stream.
+//! This lexer covers the lexical surface the rules need — it is not a
+//! full Rust lexer (no float-suffix pedantry, no shebang handling) but it
+//! is exact on the hard cases:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/** … */`, `/*! … */`);
+//! - string literals: regular (`"…"` with escapes), raw (`r"…"`,
+//!   `r##"…"##` at any hash depth), byte (`b"…"`), and raw byte
+//!   (`br#"…"#`);
+//! - char vs. lifetime disambiguation (`'a'` / `b'\n'` vs. `'a` /
+//!   `'static` / `'_`);
+//! - raw identifiers (`r#match`) vs. raw strings (`r#"…"#`).
+//!
+//! Every token carries its byte span and 1-based start line. The spans
+//! tile the source: tokens are strictly ordered, never overlap, and the
+//! gaps between them are pure whitespace — a property the test-suite
+//! round-trip proptest enforces.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// Character or byte literal (`'x'`, `'\n'`, `b'a'`).
+    Char,
+    /// Regular or byte string literal (`"…"`, `b"…"`).
+    Str,
+    /// Raw or raw-byte string literal (`r"…"`, `r##"…"##`, `br#"…"#`).
+    RawStr,
+    /// Numeric literal.
+    Num,
+    /// `// …` to end of line (plain or doc).
+    LineComment,
+    /// `/* … */`, nested (plain or doc). Unterminated comments run to EOF.
+    BlockComment,
+    /// Any other single character: operators, delimiters, `#`, `;`, ….
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Is this token a comment (line or block)?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// For [`TokKind::Punct`], the punctuation character.
+    pub fn punct(&self, src: &str) -> Option<char> {
+        (self.kind == TokKind::Punct).then(|| src[self.start..].chars().next().unwrap_or('\0'))
+    }
+
+    /// For string-literal tokens, the literal's *inner* text (between the
+    /// quotes, prefix and hashes stripped; escapes are not decoded —
+    /// schema kind strings never use them).
+    pub fn str_inner<'s>(&self, src: &'s str) -> Option<&'s str> {
+        let t = self.text(src);
+        match self.kind {
+            TokKind::Str => {
+                let t = t.strip_prefix('b').unwrap_or(t);
+                t.strip_prefix('"').and_then(|t| t.strip_suffix('"'))
+            }
+            TokKind::RawStr => {
+                let t = t.strip_prefix('b').unwrap_or(t);
+                let t = t.strip_prefix('r')?;
+                let hashes = t.len() - t.trim_start_matches('#').len();
+                let t = &t[hashes..];
+                let t = t.strip_prefix('"')?;
+                let t = t.strip_suffix(&"#".repeat(hashes))?;
+                t.strip_suffix('"')
+            }
+            _ => None,
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    i: usize,
+    line: u32,
+    toks: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.i + off).copied()
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.i..].chars().next()
+    }
+
+    /// Advance one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.peek() == Some(b'\n') {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    /// Advance one full char.
+    fn bump_char(&mut self) {
+        if let Some(c) = self.peek_char() {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += c.len_utf8();
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.toks.push(Token {
+            kind,
+            start,
+            end: self.i,
+            line,
+        });
+    }
+
+    /// `// …` to (but excluding) the newline.
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump_char();
+        }
+        self.push(TokKind::LineComment, start, line);
+    }
+
+    /// `/* … */` with nesting; an unterminated comment runs to EOF.
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump_char(),
+                (None, _) => break,
+            }
+        }
+        self.push(TokKind::BlockComment, start, line);
+    }
+
+    /// The body of a `"…"` literal, cursor on the opening quote.
+    /// Unterminated strings run to EOF.
+    fn quoted_string(&mut self, start: usize, line: u32) {
+        self.bump(); // opening '"'
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump_char(); // the escaped char (may be a quote)
+                }
+                Some(_) => self.bump_char(),
+                None => break,
+            }
+        }
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// A raw string, cursor on the `r`. Consumes `r#*"…"#*` (closing
+    /// needs the same number of hashes). Unterminated raw strings run to
+    /// EOF.
+    fn raw_string(&mut self, start: usize, line: u32) {
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.bump(); // opening '"'
+        'scan: loop {
+            match self.peek() {
+                Some(b'"') => {
+                    // A quote closes only if followed by `hashes` hashes.
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if self.peek_at(1 + k) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    self.bump();
+                    if ok {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break 'scan;
+                    }
+                }
+                Some(_) => self.bump_char(),
+                None => break 'scan,
+            }
+        }
+        self.push(TokKind::RawStr, start, line);
+    }
+
+    /// `'…` — char literal or lifetime, cursor on the quote.
+    fn quote(&mut self, start: usize, line: u32) {
+        self.bump(); // '\''
+        match self.peek_char() {
+            Some('\\') => {
+                // Escaped char literal: scan to the closing quote.
+                self.bump(); // backslash
+                self.bump_char(); // escaped char
+                while let Some(b) = self.peek() {
+                    if b == b'\'' {
+                        self.bump();
+                        break;
+                    }
+                    // Inside \u{…}; also covers malformed tails.
+                    self.bump_char();
+                }
+                self.push(TokKind::Char, start, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // One ident-class char then a quote → char literal
+                // (`'a'`); otherwise a lifetime (`'a`, `'static`, `'_`).
+                let c_len = c.len_utf8();
+                if self.bytes.get(self.i + c_len) == Some(&b'\'') {
+                    self.bump_char();
+                    self.bump();
+                    self.push(TokKind::Char, start, line);
+                } else {
+                    self.bump_char();
+                    while self.peek_char().is_some_and(is_ident_continue) {
+                        self.bump_char();
+                    }
+                    self.push(TokKind::Lifetime, start, line);
+                }
+            }
+            Some(c) if c != '\'' => {
+                // Non-ident char literal: `'+'`, `'"'`, `'é'`.
+                self.bump_char();
+                if self.peek() == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, start, line);
+            }
+            _ => {
+                // `''` or a lone quote at EOF — emit as punct, make
+                // progress either way.
+                self.push(TokKind::Punct, start, line);
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while self.peek_char().is_some_and(is_ident_continue) {
+            self.bump_char();
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    /// Numeric literal: digits/letters/underscores, `.` only when
+    /// followed by a digit (so `0..n` and `1.max(2)` stop at the dot),
+    /// exponent signs (`1e-3`) when sandwiched between `e`/`E` and a
+    /// digit.
+    fn number(&mut self, start: usize, line: u32) {
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.bump(),
+                b'.' if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => self.bump(),
+                b'+' | b'-'
+                    if matches!(self.bytes.get(self.i - 1), Some(b'e') | Some(b'E'))
+                        && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) =>
+                {
+                    self.bump()
+                }
+                _ => break,
+            }
+        }
+        self.push(TokKind::Num, start, line);
+    }
+}
+
+/// Lex `src` into a token stream (comments included).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        i: 0,
+        line: 1,
+        toks: Vec::new(),
+    };
+    while let Some(b) = lx.peek() {
+        let start = lx.i;
+        let line = lx.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => lx.bump(),
+            b'/' if lx.peek_at(1) == Some(b'/') => lx.line_comment(start, line),
+            b'/' if lx.peek_at(1) == Some(b'*') => lx.block_comment(start, line),
+            b'"' => lx.quoted_string(start, line),
+            b'\'' => lx.quote(start, line),
+            b'r' => {
+                // r"…" / r#…"…"#… raw string, r#ident raw identifier, or a
+                // plain ident starting with r.
+                let mut k = 1;
+                while lx.peek_at(k) == Some(b'#') {
+                    k += 1;
+                }
+                if lx.peek_at(k) == Some(b'"') {
+                    lx.raw_string(start, line);
+                } else if k > 1 {
+                    // r#ident — skip prefix, lex the rest as an ident.
+                    lx.bump();
+                    lx.bump();
+                    lx.ident(start, line);
+                } else {
+                    lx.ident(start, line);
+                }
+            }
+            b'b' => {
+                // b"…", b'…', br"…", br#"…"# — or a plain ident.
+                match (lx.peek_at(1), lx.peek_at(2)) {
+                    (Some(b'"'), _) => {
+                        lx.bump(); // 'b'
+                        lx.quoted_string(start, line);
+                    }
+                    (Some(b'\''), _) => {
+                        lx.bump(); // 'b'
+                        lx.quote(start, line);
+                        // Force byte-char class (quote() says Char already
+                        // unless it degraded to a lifetime-looking form).
+                        if let Some(last) = lx.toks.last_mut() {
+                            if last.kind == TokKind::Lifetime {
+                                last.kind = TokKind::Char;
+                            }
+                        }
+                    }
+                    (Some(b'r'), _) => {
+                        let mut k = 2;
+                        while lx.peek_at(k) == Some(b'#') {
+                            k += 1;
+                        }
+                        if lx.peek_at(k) == Some(b'"') {
+                            lx.bump(); // 'b'
+                            lx.raw_string(start, line);
+                        } else {
+                            lx.ident(start, line);
+                        }
+                    }
+                    _ => lx.ident(start, line),
+                }
+            }
+            b'0'..=b'9' => lx.number(start, line),
+            _ => {
+                let c = lx.peek_char().unwrap_or('\0');
+                if is_ident_start(c) {
+                    lx.ident(start, line);
+                } else {
+                    lx.bump_char();
+                    lx.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+    }
+    lx.toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let ks = kinds("fn f(x: u64) -> u32 { x as u32 }");
+        assert_eq!(ks[0], (TokKind::Ident, "fn".into()));
+        assert!(ks.iter().any(|k| k == &(TokKind::Ident, "u32".into())));
+        let ks = kinds("let r = 0..n; let f = 1.5e-3; let m = 1.max(2);");
+        assert!(ks.contains(&(TokKind::Num, "0".into())));
+        assert!(ks.contains(&(TokKind::Num, "1.5e-3".into())));
+        assert!(ks.contains(&(TokKind::Num, "1".into())));
+        assert!(ks.contains(&(TokKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* outer /* inner */ still-outer */ b";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1].0, TokKind::BlockComment);
+        assert_eq!(ks[1].1, "/* outer /* inner */ still-outer */");
+    }
+
+    #[test]
+    fn raw_strings_at_any_hash_depth() {
+        let src = r####"let s = r#"contains "quotes" and .unwrap()"#;"####;
+        let ks = kinds(src);
+        let raw = ks.iter().find(|k| k.0 == TokKind::RawStr).unwrap();
+        assert!(raw.1.contains(".unwrap()"));
+        // Hash-mismatched quote does not close early.
+        let src = "r##\"a\"# b\"##";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].0, TokKind::RawStr);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ks = kinds(r##"let a = b"bytes"; let c = b'\n'; let r = br#"raw"#;"##);
+        assert!(ks.iter().any(|k| k.0 == TokKind::Str && k.1 == "b\"bytes\""));
+        assert!(ks.iter().any(|k| k.0 == TokKind::Char && k.1 == "b'\\n'"));
+        assert!(ks.iter().any(|k| k.0 == TokKind::RawStr && k.1 == "br#\"raw\"#"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str, c: char) { if c == 'a' {} let s: &'static str = \"\"; let u = '_'; }");
+        let lifetimes: Vec<_> = ks.iter().filter(|k| k.0 == TokKind::Lifetime).collect();
+        let chars: Vec<_> = ks.iter().filter(|k| k.0 == TokKind::Char).collect();
+        assert_eq!(
+            lifetimes.iter().map(|k| k.1.as_str()).collect::<Vec<_>>(),
+            vec!["'a", "'a", "'static"]
+        );
+        assert_eq!(
+            chars.iter().map(|k| k.1.as_str()).collect::<Vec<_>>(),
+            vec!["'a'", "'_'"]
+        );
+    }
+
+    #[test]
+    fn escaped_and_exotic_char_literals() {
+        let ks = kinds(r#"let q = '"'; let e = '\''; let u = '\u{1F600}'; let p = '+';"#);
+        let chars: Vec<_> = ks.iter().filter(|k| k.0 == TokKind::Char).collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0].1, "'\"'");
+        assert_eq!(chars[1].1, r"'\''");
+        assert_eq!(chars[2].1, r"'\u{1F600}'");
+    }
+
+    #[test]
+    fn raw_idents_are_idents_not_strings() {
+        let ks = kinds("let r#match = 1; r#fn();");
+        assert!(ks.iter().any(|k| k.0 == TokKind::Ident && k.1 == "r#match"));
+        assert!(ks.iter().any(|k| k.0 == TokKind::Ident && k.1 == "r#fn"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        let src = r#""a\"b" tail"#;
+        let ks = kinds(src);
+        assert_eq!(ks[0], (TokKind::Str, r#""a\"b""#.into()));
+        assert_eq!(ks[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\n/* c\nc */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1); // a
+        assert_eq!(toks[1].line, 2); // string starts line 2
+        assert_eq!(toks[2].line, 4); // comment starts line 4
+        assert_eq!(toks[3].line, 6); // b after multi-line comment
+    }
+
+    #[test]
+    fn spans_tile_the_source() {
+        let src = "fn f<'a>() { let s = r#\"x\"#; /* c */ s.len() } // t\n";
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert!(t.start >= pos, "overlap at {t:?}");
+            assert!(
+                src[pos..t.start].chars().all(char::is_whitespace),
+                "non-whitespace gap before {t:?}"
+            );
+            assert!(t.end > t.start, "empty token {t:?}");
+            pos = t.end;
+        }
+        assert!(src[pos..].chars().all(char::is_whitespace));
+    }
+
+    #[test]
+    fn str_inner_strips_quotes_prefixes_and_hashes() {
+        let src = r####"("kind", b"bk", r"rk", r##"hk"##, br#"bh"#)"####;
+        let inners: Vec<_> = lex(src)
+            .into_iter()
+            .filter_map(|t| t.str_inner(src).map(str::to_string))
+            .collect();
+        assert_eq!(inners, vec!["kind", "bk", "rk", "hk", "bh"]);
+    }
+
+    #[test]
+    fn unterminated_forms_run_to_eof_without_panicking() {
+        for src in ["\"open", "r#\"open", "/* open /* deeper", "'", "b\"x"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+            assert_eq!(toks.last().unwrap().end, src.len(), "{src:?}");
+        }
+    }
+}

@@ -43,10 +43,33 @@
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod itemtree;
+pub mod lexer;
 pub mod lint;
+pub mod rules;
+
+/// Every `(component, kind)` pair the auditor's dispatch understands, in
+/// sorted order. Mirrors the `match` in [`Auditor::push`]; a parity test
+/// (and the `trace-schema` lint cross-check) keeps it in lock-step with
+/// `dualpar_telemetry::schema::TRACE_SCHEMA`.
+pub fn audited_kinds() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("cache", "conservation"),
+        ("crm", "phase"),
+        ("disk", "done"),
+        ("disk", "start"),
+        ("emc", "config"),
+        ("emc", "mode"),
+        ("emc", "tick"),
+        ("pec", "resume"),
+        ("pec", "suspend"),
+        ("span", "close"),
+        ("span", "open"),
+    ]
+}
 
 use dualpar_telemetry::{FieldValue, TraceBuffer};
-use std::collections::{HashMap, HashSet};
+use dualpar_sim::{FxHashMap as HashMap, FxHashSet as HashSet};
 use std::fmt;
 
 /// One dynamically-typed field of a parsed trace event.
@@ -475,7 +498,7 @@ impl AuditReport {
     }
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -571,18 +594,18 @@ impl Auditor {
             index: 0,
             last_t: f64::NEG_INFINITY,
             violations: Vec::new(),
-            in_flight: HashMap::new(),
-            suspended: HashMap::new(),
-            modes: HashMap::new(),
-            vetoed: HashSet::new(),
-            last_tick: HashMap::new(),
-            crm_seq: HashMap::new(),
+            in_flight: HashMap::default(),
+            suspended: HashMap::default(),
+            modes: HashMap::default(),
+            vetoed: HashSet::default(),
+            last_tick: HashMap::default(),
+            crm_seq: HashMap::default(),
             warnings: 0,
-            seen_disk_start: HashSet::new(),
-            seen_pec_suspend: HashSet::new(),
-            open_spans: HashMap::new(),
-            closed_spans: HashMap::new(),
-            span_stage: HashMap::new(),
+            seen_disk_start: HashSet::default(),
+            seen_pec_suspend: HashSet::default(),
+            open_spans: HashMap::default(),
+            closed_spans: HashMap::default(),
+            span_stage: HashMap::default(),
         }
     }
 
@@ -1372,5 +1395,17 @@ mod tests {
         // The summary itself must parse with our own parser (it is flat
         // except for the violations array, so check the key bits).
         assert!(json.contains("\"check\":\"monotone-time\""));
+    }
+
+    #[test]
+    fn audited_kinds_mirror_telemetry_schema() {
+        // The auditor's dispatch table and telemetry's canonical
+        // TRACE_SCHEMA must name exactly the same pairs — a drifted entry
+        // means records are silently ignored (or an audit check is dead).
+        let schema: Vec<(&str, &str)> = dualpar_telemetry::schema::TRACE_SCHEMA
+            .iter()
+            .map(|s| (s.component, s.kind))
+            .collect();
+        assert_eq!(crate::audited_kinds(), schema);
     }
 }

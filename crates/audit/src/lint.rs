@@ -1,44 +1,37 @@
-//! Source-lint pass for the DualPar workspace.
+//! Source-lint engine for the DualPar workspace.
 //!
-//! Walks `crates/*/src` and flags patterns the project bans in library
-//! code:
+//! The engine ties together the [`lexer`](crate::lexer), the
+//! [`itemtree`](crate::itemtree) cfg-extent mask, and the
+//! [`rules`](crate::rules): it walks `crates/*/src/**/*.rs`, scans files in
+//! parallel over [`dualpar_sim::parallel_map`] (deterministic finding order
+//! — results come back in input order regardless of job count), applies
+//! suppressions, and cross-checks every statically-extracted trace
+//! `(component, kind)` pair against `dualpar_telemetry::schema`.
 //!
-//! - `.unwrap()` and `panic!(` — library code must carry a message
-//!   (`expect`) or propagate an error; test modules are exempt;
-//! - `std::sync::Mutex` — the workspace standardizes on `parking_lot`;
-//! - narrowing `as` casts (`as u8/u16/u32/i8/i16/i32/f32`) in the disk and
-//!   cache hot paths, where silently truncating an LBN or byte count is a
-//!   correctness bug;
-//! - unguarded `+`/`*` arithmetic on overflow-sensitive quantities (times,
-//!   deadlines, slices, LBNs, sector counts) in the disk schedulers and
-//!   the cluster engine, where a wrapped deadline silently reorders the
-//!   whole dispatch queue (or event loop). Lines using
-//!   `checked_*`/`saturating_*`/`wrapping_*`/`abs_diff` or widening
-//!   through `u128` are considered guarded.
+//! Suppressions come in two forms:
 //!
-//! `#[cfg(test)]` items are skipped (the pass tracks the brace extent of
-//! the annotated item), as are comments and string-literal contents.
-//! Deliberate exceptions live in an allow-list file
-//! (`scripts/lint-allow.txt`), one entry per line:
+//! - **inline** — a comment containing `audit:allow` suppresses all
+//!   findings on the comment's starting line;
+//! - **allow-list** — `scripts/lint-allow.txt` entries of the form
+//!   `rule path-suffix substring-of-the-offending-line`.
 //!
-//! ```text
-//! rule  path-suffix  substring-of-the-offending-line
-//! ```
+//! Every allow-list entry must still match something: stale entries are
+//! reported as `unused-suppression` deny findings anchored at the entry's
+//! line in the allow file, so the list can only shrink toward the truth.
 //!
-//! or inline, by putting `audit:allow` in a comment on the flagged line.
+//! See `docs/LINT.md` for the rule catalogue, the JSON report schema, and
+//! the trace-schema cross-check contract.
 
+use crate::itemtree::cfg_mask;
+use crate::lexer::lex;
+use crate::rules::schema::{extract_trace_emits, TraceEmit};
+use crate::rules::source::scan_tokens;
+use crate::rules::{severity_of, Severity};
+use dualpar_sim::parallel_map;
+use dualpar_telemetry::schema::TRACE_SCHEMA;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-
-/// Names of the lint rules, as used in findings and allow-list entries.
-pub const RULES: [&str; 5] = [
-    "unwrap",
-    "panic",
-    "std-mutex",
-    "narrowing-cast",
-    "overflow-arith",
-];
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,30 +39,46 @@ pub struct LintFinding {
     /// File the pattern was found in.
     pub path: PathBuf,
     /// 1-based line number.
-    pub line: usize,
-    /// Which rule fired (one of [`RULES`]).
+    pub line: u32,
+    /// Which rule fired (a name from [`crate::rules::RULES`]).
     pub rule: &'static str,
-    /// The offending source line, trimmed.
+    /// Deny or warn.
+    pub severity: Severity,
+    /// The offending source line (or a synthesized message for
+    /// cross-file findings), trimmed.
     pub text: String,
 }
 
 impl LintFinding {
-    /// `path:line: [rule] text` — the shape editors can jump to.
+    /// `path:line: [severity rule] text` — the shape editors can jump to.
     pub fn render(&self) -> String {
         format!(
-            "{}:{}: [{}] {}",
+            "{}:{}: [{} {}] {}",
             self.path.display(),
             self.line,
+            self.severity,
             self.rule,
             self.text
         )
     }
 }
 
-/// Deliberate exceptions to the lint rules.
+/// Deliberate exceptions to the lint rules, loaded from an allow file.
 #[derive(Debug, Clone, Default)]
 pub struct AllowList {
-    entries: Vec<(String, String, String)>,
+    /// Path the list was loaded from (anchors unused-suppression findings).
+    source: Option<PathBuf>,
+    entries: Vec<AllowEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct AllowEntry {
+    rule: String,
+    suffix: String,
+    substr: String,
+    /// 1-based line in the allow file.
+    file_line: u32,
+    used: bool,
 }
 
 impl AllowList {
@@ -78,35 +87,75 @@ impl AllowList {
     /// line (it may contain spaces).
     pub fn parse(text: &str) -> AllowList {
         let mut entries = Vec::new();
-        for line in text.lines() {
+        for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             let mut parts = line.splitn(3, char::is_whitespace);
             if let (Some(rule), Some(path)) = (parts.next(), parts.next()) {
-                let substr = parts.next().unwrap_or("").trim().to_string();
-                entries.push((rule.to_string(), path.to_string(), substr));
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    suffix: path.to_string(),
+                    substr: parts.next().unwrap_or("").trim().to_string(),
+                    file_line: (lineno + 1) as u32,
+                    used: false,
+                });
             }
         }
-        AllowList { entries }
+        AllowList {
+            source: None,
+            entries,
+        }
     }
 
     /// Load from a file.
     pub fn load(path: &Path) -> io::Result<AllowList> {
-        Ok(AllowList::parse(&fs::read_to_string(path)?))
+        let mut list = AllowList::parse(&fs::read_to_string(path)?);
+        list.source = Some(path.to_path_buf());
+        Ok(list)
     }
 
-    /// Does some entry cover this finding? Matching is by rule name, path
-    /// suffix, and (if the entry gives one) a substring of the source
-    /// line — robust to line-number drift.
-    pub fn permits(&self, f: &LintFinding) -> bool {
+    /// Does some entry cover this finding? Matching entries are marked
+    /// used; matching is by rule name, path suffix, and (if the entry
+    /// gives one) a substring of the source line — robust to line-number
+    /// drift.
+    pub fn permits(&mut self, f: &LintFinding) -> bool {
         let path = slash_path(&f.path);
-        self.entries.iter().any(|(rule, suffix, substr)| {
-            rule == f.rule
-                && path.ends_with(suffix.as_str())
-                && (substr.is_empty() || f.text.contains(substr.as_str()))
-        })
+        let mut permitted = false;
+        for e in &mut self.entries {
+            if e.rule == f.rule
+                && path.ends_with(e.suffix.as_str())
+                && (e.substr.is_empty() || f.text.contains(e.substr.as_str()))
+            {
+                e.used = true;
+                permitted = true;
+            }
+        }
+        permitted
+    }
+
+    /// Findings for every entry that never matched: stale suppressions
+    /// must be deleted, not accumulated.
+    pub fn unused_findings(&self) -> Vec<LintFinding> {
+        let source = self
+            .source
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("<allow-list>"));
+        self.entries
+            .iter()
+            .filter(|e| !e.used)
+            .map(|e| LintFinding {
+                path: source.clone(),
+                line: e.file_line,
+                rule: "unused-suppression",
+                severity: Severity::Deny,
+                text: format!(
+                    "allow entry `{} {} {}` matches no finding — delete it",
+                    e.rule, e.suffix, e.substr
+                ),
+            })
+            .collect()
     }
 }
 
@@ -114,185 +163,122 @@ fn slash_path(p: &Path) -> String {
     p.to_string_lossy().replace('\\', "/")
 }
 
-/// Strip string-literal contents, char literals, and `//` comments from a
-/// source line so the rules match only real code. Multi-line literals are
-/// not tracked; the allow-list is the escape hatch for those rare cases.
-fn sanitize(line: &str) -> String {
-    let bytes = line.as_bytes();
-    let mut out = String::with_capacity(line.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => break,
-            b'"' => {
-                // Skip to the closing quote, honouring escapes.
-                out.push('"');
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            out.push('"');
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-            }
-            b'\'' => {
-                // Char literal ('x', '\n', '\u{..}') vs. lifetime ('a).
-                let rest = &bytes[i + 1..];
-                let lit_len = if rest.first() == Some(&b'\\') {
-                    rest.iter().position(|&b| b == b'\'').map(|p| p + 2)
-                } else if rest.len() >= 2 && rest[1] == b'\'' {
-                    Some(3)
-                } else {
-                    None
-                };
-                match lit_len {
-                    Some(n) => {
-                        out.push_str("''");
-                        i += n;
-                    }
-                    None => {
-                        out.push('\'');
-                        i += 1;
-                    }
-                }
-            }
-            b => {
-                out.push(b as char);
-                i += 1;
-            }
-        }
-    }
-    out
+/// Result of scanning one file: rule findings (inline suppressions already
+/// applied, allow-list not yet) plus the statically-extracted trace emits.
+#[derive(Debug, Clone, Default)]
+pub struct FileScan {
+    /// Rule findings, in source order.
+    pub findings: Vec<LintFinding>,
+    /// `(component, kind)` literal pairs passed to trace constructors.
+    pub emits: Vec<TraceEmit>,
 }
 
-fn brace_delta(sanitized: &str) -> i32 {
-    let mut d = 0;
-    for c in sanitized.chars() {
-        match c {
-            '{' => d += 1,
-            '}' => d -= 1,
-            _ => {}
-        }
-    }
-    d
-}
-
-/// Is the narrowing-cast token at `pos` a whole word (`x as u32;` yes,
-/// `x as u32x` no)?
-fn word_boundary_after(s: &str, end: usize) -> bool {
-    s[end..]
-        .chars()
-        .next()
-        .map(|c| !c.is_alphanumeric() && c != '_')
-        .unwrap_or(true)
-}
-
-const NARROW_CASTS: [&str; 7] = [
-    " as u8", " as u16", " as u32", " as i8", " as i16", " as i32", " as f32",
-];
-
-/// Identifier fragments marking a quantity whose overflow corrupts
-/// scheduling decisions rather than merely panicking.
-const OVERFLOW_NOUNS: [&str; 9] = [
-    "now", "time", "deadline", "arrival", "slice", "expire", "window", "lbn", "sector",
-];
-
-/// Substrings that mark a line as deliberately overflow-aware.
-const OVERFLOW_GUARDS: [&str; 5] = [
-    "checked_",
-    "saturating_",
-    "wrapping_",
-    "abs_diff",
-    "u128",
-];
-
-/// Does this (sanitized, trimmed) line do raw `+`/`*` arithmetic on an
-/// overflow-sensitive quantity? Matches rustfmt's spaced binary operators;
-/// unary/ref uses (`&'a`, `*ptr`) never carry surrounding spaces.
-fn overflow_prone(code: &str) -> bool {
-    let has_op = [" + ", " += ", " * ", " *= "]
+/// Scan one file's source text. `hot` enables the hot-path-only rules
+/// (narrowing-cast); the deterministic workspace walk sets it for
+/// `crates/disk/src` and `crates/cache/src`.
+pub fn scan_file(path: &Path, src: &str, hot: bool) -> FileScan {
+    let toks = lex(src);
+    let mask = cfg_mask(src, &toks);
+    // Inline suppressions: a comment containing `audit:allow` covers its
+    // starting line.
+    let allowed_lines: Vec<u32> = toks
         .iter()
-        .any(|op| code.contains(op));
-    if !has_op || OVERFLOW_GUARDS.iter().any(|g| code.contains(g)) {
-        return false;
+        .filter(|t| t.is_comment() && t.text(src).contains("audit:allow"))
+        .map(|t| t.line)
+        .collect();
+    let lines: Vec<&str> = src.lines().collect();
+    let findings = scan_tokens(src, &toks, &mask, hot)
+        .into_iter()
+        .filter(|(line, _)| !allowed_lines.contains(line))
+        .map(|(line, rule)| LintFinding {
+            path: path.to_path_buf(),
+            line,
+            rule,
+            severity: severity_of(rule),
+            text: lines
+                .get(line as usize - 1)
+                .map_or(String::new(), |l| l.trim().to_string()),
+        })
+        .collect();
+    FileScan {
+        findings,
+        emits: extract_trace_emits(src, &toks, &mask),
     }
-    OVERFLOW_NOUNS.iter().any(|n| code.contains(n))
 }
 
-/// Lint one file's source text. `in_hot_path` turns on the narrowing-cast
-/// rule (disk and cache crates); `in_sched` turns on the overflow-arith
-/// rule (disk scheduler sources).
-pub fn lint_source(path: &Path, src: &str, in_hot_path: bool, in_sched: bool) -> Vec<LintFinding> {
-    let mut findings = Vec::new();
-    // Brace depth of a `#[cfg(test)]` item we are currently skipping.
-    let mut skip_depth: Option<i32> = None;
-    let mut pending_cfg_test = false;
-    for (lineno, raw) in src.lines().enumerate() {
-        let sanitized = sanitize(raw);
-        let code = sanitized.trim();
-        if let Some(depth) = skip_depth.as_mut() {
-            *depth += brace_delta(&sanitized);
-            if *depth <= 0 {
-                skip_depth = None;
-            }
-            continue;
-        }
-        if code.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-            continue;
-        }
-        if pending_cfg_test {
-            // The attribute applies to this item; skip its brace extent.
-            let d = brace_delta(&sanitized);
-            if d > 0 {
-                skip_depth = Some(d);
-                pending_cfg_test = false;
-            } else if !code.is_empty() && !code.starts_with("#[") {
-                // One-line item (e.g. `mod tests;`).
-                pending_cfg_test = false;
-            }
-            continue;
-        }
-        if raw.contains("audit:allow") {
-            continue;
-        }
-        let mut hit = |rule: &'static str| {
-            findings.push(LintFinding {
-                path: path.to_path_buf(),
-                line: lineno + 1,
-                rule,
-                text: raw.trim().to_string(),
-            });
-        };
-        if code.contains(".unwrap()") {
-            hit("unwrap");
-        }
-        if code.contains("panic!(") {
-            hit("panic");
-        }
-        if code.contains("std::sync::Mutex") {
-            hit("std-mutex");
-        }
-        if in_hot_path {
-            for pat in NARROW_CASTS {
-                if let Some(pos) = code.find(pat) {
-                    if word_boundary_after(code, pos + pat.len()) {
-                        hit("narrowing-cast");
-                        break;
-                    }
-                }
-            }
-        }
-        if in_sched && overflow_prone(code) {
-            hit("overflow-arith");
-        }
+/// A workspace lint run: findings (allow-filtered, sorted by path, line,
+/// rule) plus the counts the gate checks.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Surviving findings, sorted by (path, line, rule).
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// Number of deny-severity findings (includes unused suppressions).
+    pub fn deny(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
     }
-    findings
+
+    /// Number of warn-severity findings.
+    pub fn warn(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Number of stale allow-list entries.
+    pub fn unused_suppressions(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.rule == "unused-suppression")
+            .count()
+    }
+
+    /// The gate: clean means zero deny findings (warns are advisory).
+    pub fn ok(&self) -> bool {
+        self.deny() == 0
+    }
+
+    /// Machine-readable JSON report (see `docs/LINT.md` for the schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"files_scanned\":");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"deny\":");
+        out.push_str(&self.deny().to_string());
+        out.push_str(",\"warn\":");
+        out.push_str(&self.warn().to_string());
+        out.push_str(",\"unused_suppressions\":");
+        out.push_str(&self.unused_suppressions().to_string());
+        out.push_str(",\"ok\":");
+        out.push_str(if self.ok() { "true" } else { "false" });
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"path\":");
+            crate::push_json_str(&mut out, &slash_path(&f.path));
+            out.push_str(",\"line\":");
+            out.push_str(&f.line.to_string());
+            out.push_str(",\"rule\":");
+            crate::push_json_str(&mut out, f.rule);
+            out.push_str(",\"severity\":");
+            crate::push_json_str(&mut out, &f.severity.to_string());
+            out.push_str(",\"text\":");
+            crate::push_json_str(&mut out, &f.text);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -307,9 +293,20 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint every `crates/*/src/**/*.rs` under `root`, dropping findings the
-/// allow-list covers. Results are sorted by path and line.
-pub fn lint_workspace(root: &Path, allow: &AllowList) -> io::Result<Vec<LintFinding>> {
+/// Is this workspace path part of the disk/cache hot paths (narrowing-cast
+/// territory)?
+fn is_hot(path: &Path) -> bool {
+    let slashed = slash_path(path);
+    slashed.contains("/disk/src/") || slashed.contains("/cache/src/")
+}
+
+/// Lint every `crates/*/src/**/*.rs` under `root` with up to `jobs`
+/// scanner threads, dropping findings the allow-list covers, then run the
+/// trace-schema cross-check and the unused-suppression check.
+///
+/// Finding order is deterministic at any job count: files are walked in
+/// sorted order and the parallel map returns results in input order.
+pub fn lint_workspace(root: &Path, allow: &mut AllowList, jobs: usize) -> io::Result<LintReport> {
     let crates_dir = root.join("crates");
     let mut files = Vec::new();
     for entry in fs::read_dir(&crates_dir)? {
@@ -319,112 +316,129 @@ pub fn lint_workspace(root: &Path, allow: &AllowList) -> io::Result<Vec<LintFind
         }
     }
     files.sort();
+    let sources: Vec<(PathBuf, String)> = files
+        .into_iter()
+        .map(|p| {
+            let text = fs::read_to_string(&p)?;
+            Ok((p, text))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    let scans = parallel_map(&sources, jobs, |_, (path, text)| {
+        scan_file(path, text, is_hot(path))
+    });
+
     let mut findings = Vec::new();
-    for path in files {
-        let text = fs::read_to_string(&path)?;
-        let slashed = slash_path(&path);
-        let hot = slashed.contains("/disk/src/") || slashed.contains("/cache/src/");
-        let overflow = slashed.contains("/disk/src/sched/") || slashed.contains("/cluster/src/");
-        findings.extend(
-            lint_source(&path, &text, hot, overflow)
-                .into_iter()
-                .filter(|f| !allow.permits(f)),
-        );
+    let mut emits: Vec<(PathBuf, TraceEmit)> = Vec::new();
+    for ((path, _), scan) in sources.iter().zip(scans) {
+        findings.extend(scan.findings.into_iter().filter(|f| !allow.permits(f)));
+        emits.extend(scan.emits.into_iter().map(|e| (path.clone(), e)));
     }
-    Ok(findings)
+    findings.extend(
+        cross_check_schema(root, &emits)
+            .into_iter()
+            .filter(|f| !allow.permits(f)),
+    );
+    findings.extend(allow.unused_findings());
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
+    });
+    Ok(LintReport {
+        files_scanned: sources.len(),
+        findings,
+    })
+}
+
+/// Diff the statically-extracted emit sites against the canonical
+/// `TRACE_SCHEMA` registry: unregistered pairs are findings at the emit
+/// site, registered-but-unemitted pairs are findings at the schema table.
+fn cross_check_schema(root: &Path, emits: &[(PathBuf, TraceEmit)]) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for (path, e) in emits {
+        if !dualpar_telemetry::schema::is_registered(&e.component, &e.kind) {
+            findings.push(LintFinding {
+                path: path.clone(),
+                line: e.line,
+                rule: "trace-schema",
+                severity: Severity::Deny,
+                text: format!(
+                    "emitted pair (\"{}\", \"{}\") is not registered in telemetry's TRACE_SCHEMA",
+                    e.component, e.kind
+                ),
+            });
+        }
+    }
+    for spec in TRACE_SCHEMA {
+        let emitted = emits
+            .iter()
+            .any(|(_, e)| e.component == spec.component && e.kind == spec.kind);
+        if !emitted {
+            findings.push(LintFinding {
+                path: root.join("crates/telemetry/src/schema.rs"),
+                line: 1,
+                rule: "trace-schema",
+                severity: Severity::Deny,
+                text: format!(
+                    "registered pair (\"{}\", \"{}\") has no non-test emit site — check `{}` is dead",
+                    spec.component, spec.kind, spec.audit_check
+                ),
+            });
+        }
+    }
+    findings
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn lint_str(src: &str, hot: bool) -> Vec<&'static str> {
-        lint_source(Path::new("crates/x/src/lib.rs"), src, hot, false)
-            .into_iter()
-            .map(|f| f.rule)
-            .collect()
-    }
-
-    fn lint_sched(src: &str) -> Vec<&'static str> {
-        lint_source(Path::new("crates/disk/src/sched/x.rs"), src, true, true)
+    fn rules_of(src: &str, hot: bool) -> Vec<&'static str> {
+        scan_file(Path::new("crates/x/src/lib.rs"), src, hot)
+            .findings
             .into_iter()
             .map(|f| f.rule)
             .collect()
     }
 
     #[test]
-    fn flags_unwrap_and_panic_in_library_code() {
-        let src = "fn f() {\n    let x = opt.unwrap();\n    panic!(\"boom\");\n}\n";
-        assert_eq!(lint_str(src, false), vec!["unwrap", "panic"]);
-    }
-
-    #[test]
-    fn skips_cfg_test_modules_and_comments() {
-        let src = "fn f() {}\n\
-                   // opt.unwrap() in a comment is fine\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn t() { opt.unwrap(); panic!(\"ok in tests\"); }\n\
-                   }\n";
-        assert!(lint_str(src, false).is_empty());
-    }
-
-    #[test]
-    fn string_contents_do_not_match() {
-        let src = "fn f() { let s = \".unwrap() panic!( std::sync::Mutex\"; use_(s); }\n";
-        assert!(lint_str(src, false).is_empty());
-    }
-
-    #[test]
-    fn char_literal_quote_does_not_derail_sanitizer() {
-        let src = "fn f(c: char) { match c { '\"' => opt.unwrap(), _ => {} } }\n";
-        assert_eq!(lint_str(src, false), vec!["unwrap"]);
-    }
-
-    #[test]
-    fn narrowing_casts_only_flagged_in_hot_paths() {
-        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
-        assert_eq!(lint_str(src, true), vec!["narrowing-cast"]);
-        assert!(lint_str(src, false).is_empty());
-        // `as usize` is not narrowing on the supported targets.
-        assert!(lint_str("fn f(x: u32) -> usize { x as usize }\n", true).is_empty());
-    }
-
-    #[test]
-    fn overflow_arith_only_fires_in_sched_sources() {
-        let src = "fn f() { let deadline = req.arrival + expire; use_(deadline); }\n";
-        assert_eq!(lint_sched(src), vec!["overflow-arith"]);
-        assert!(lint_str(src, true).is_empty());
-    }
-
-    #[test]
-    fn overflow_arith_respects_guards_and_plain_arithmetic() {
-        // Guarded forms pass.
-        assert!(lint_sched("fn f() { let d = now.saturating_add(self.cfg.slice); }\n").is_empty());
-        assert!(lint_sched("fn f() { let d = arrival.checked_add(expire); }\n").is_empty());
-        assert!(lint_sched("fn f() { let d = a.lbn.abs_diff(b.lbn); }\n").is_empty());
-        // Arithmetic on quantities with no overflow-sensitive noun passes.
-        assert!(lint_sched("fn f(i: usize) { let j = i + 1; use_(j); }\n").is_empty());
-        // Raw multiplication of sector counts is flagged.
+    fn scan_file_attaches_text_and_severity() {
+        let scan = scan_file(
+            Path::new("crates/x/src/lib.rs"),
+            "fn f() {\n    opt.unwrap();\n}\n",
+            false,
+        );
+        assert_eq!(scan.findings.len(), 1);
+        let f = &scan.findings[0];
+        assert_eq!(f.line, 2);
+        assert_eq!(f.text, "opt.unwrap();");
+        assert_eq!(f.severity, Severity::Deny);
         assert_eq!(
-            lint_sched("fn f() { let b = req.sectors * bytes_each; use_(b); }\n"),
-            vec!["overflow-arith"]
+            f.render(),
+            "crates/x/src/lib.rs:2: [deny unwrap] opt.unwrap();"
         );
     }
 
     #[test]
-    fn inline_marker_and_allow_list_suppress() {
+    fn inline_marker_suppresses_the_line() {
         let src = "fn f() { opt.unwrap(); } // audit:allow — startup only\n";
-        assert!(lint_str(src, false).is_empty());
+        assert!(rules_of(src, false).is_empty());
+        // The marker only works from comments, not string contents.
+        let src = "fn f() { let s = \"audit:allow\"; opt.unwrap(); use_(s); }\n";
+        assert_eq!(rules_of(src, false), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn allow_list_matches_and_tracks_usage() {
         let f = LintFinding {
             path: PathBuf::from("crates/bench/src/lib.rs"),
             line: 10,
             rule: "unwrap",
+            severity: Severity::Deny,
             text: "let name = dat.file_name().unwrap();".to_string(),
         };
-        let allow = AllowList::parse(
+        let mut allow = AllowList::parse(
             "# comment\n\
-             unwrap crates/bench/src/lib.rs file_name()\n",
+             unwrap crates/bench/src/lib.rs file_name()\n\
+             panic crates/never/src/used.rs boom\n",
         );
         assert!(allow.permits(&f));
         let other = LintFinding {
@@ -432,5 +446,79 @@ mod tests {
             ..f.clone()
         };
         assert!(!allow.permits(&other));
+        let unused = allow.unused_findings();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, "unused-suppression");
+        assert_eq!(unused[0].line, 3);
+        assert!(unused[0].text.contains("crates/never/src/used.rs"));
+    }
+
+    #[test]
+    fn report_counts_and_json_shape() {
+        let report = LintReport {
+            files_scanned: 2,
+            findings: vec![
+                LintFinding {
+                    path: PathBuf::from("crates/x/src/lib.rs"),
+                    line: 1,
+                    rule: "unwrap",
+                    severity: Severity::Deny,
+                    text: "x.unwrap();".into(),
+                },
+                LintFinding {
+                    path: PathBuf::from("crates/x/src/lib.rs"),
+                    line: 2,
+                    rule: "float-accum",
+                    severity: Severity::Warn,
+                    text: "v.iter().sum::<f64>()".into(),
+                },
+            ],
+        };
+        assert_eq!(report.deny(), 1);
+        assert_eq!(report.warn(), 1);
+        assert!(!report.ok());
+        let json = report.to_json();
+        assert!(json.starts_with(
+            "{\"files_scanned\":2,\"deny\":1,\"warn\":1,\"unused_suppressions\":0,\"ok\":false,\"findings\":["
+        ));
+        assert!(json.contains("\"rule\":\"unwrap\""));
+        assert!(json.contains("\"severity\":\"warn\""));
+        assert!(json.ends_with("}]}"));
+    }
+
+    #[test]
+    fn cross_check_flags_unregistered_and_dead_pairs() {
+        let emits = vec![
+            (
+                PathBuf::from("crates/x/src/lib.rs"),
+                TraceEmit {
+                    component: "disk".into(),
+                    kind: "seek".into(),
+                    line: 7,
+                },
+            ),
+            (
+                PathBuf::from("crates/x/src/lib.rs"),
+                TraceEmit {
+                    component: "disk".into(),
+                    kind: "start".into(),
+                    line: 8,
+                },
+            ),
+        ];
+        let findings = cross_check_schema(Path::new("."), &emits);
+        // One unregistered emit…
+        assert!(findings
+            .iter()
+            .any(|f| f.line == 7 && f.text.contains("\"seek\"")));
+        // …and every registered pair except disk/start is unemitted here.
+        let dead = findings
+            .iter()
+            .filter(|f| f.text.contains("no non-test emit site"))
+            .count();
+        assert_eq!(dead, TRACE_SCHEMA.len() - 1);
+        assert!(!findings
+            .iter()
+            .any(|f| f.text.contains("(\"disk\", \"start\") has no")));
     }
 }

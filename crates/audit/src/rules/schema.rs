@@ -1,0 +1,191 @@
+//! Static trace-schema cross-check.
+//!
+//! The simulator's trace records are the contract between the engine and
+//! the auditor: every emit site passes a `(component, kind)` string-literal
+//! pair, and `dualpar_telemetry::schema::TRACE_SCHEMA` is the canonical
+//! registry of pairs the auditor understands. This module closes the loop
+//! *statically*: it extracts every literal pair passed to a trace
+//! constructor anywhere in the workspace and diffs the set against the
+//! registry, so that
+//!
+//! - an emit site using an unregistered pair (the auditor would silently
+//!   ignore those records) is a deny finding at the emit site, and
+//! - a registered pair with no non-test emit site (a dead audit check) is
+//!   a deny finding anchored at the schema table.
+//!
+//! Extraction is deliberately conservative: a pair is recorded only when
+//! the second and third arguments of a `TraceEvent::new(…)` or `.event(…)`
+//! call are each exactly one string-literal token. Call sites that forward
+//! non-literal component/kind values (e.g. `Telemetry::event`'s generic
+//! pass-through inside the telemetry crate itself) are skipped rather than
+//! guessed at.
+
+use crate::itemtree::MASK_TEST;
+use crate::lexer::{TokKind, Token};
+
+/// One statically-extracted trace emit site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEmit {
+    /// Component literal (`"disk"`, `"emc"`, ...).
+    pub component: String,
+    /// Kind literal (`"start"`, `"mode"`, ...).
+    pub kind: String,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// Extract every `(component, kind)` literal pair passed to
+/// `TraceEvent::new(t, c, k, …)` or `….event(t, c, k, …)` in non-test
+/// code.
+pub fn extract_trace_emits(src: &str, toks: &[Token], mask: &[u8]) -> Vec<TraceEmit> {
+    // Code view: comments and test-masked tokens stripped.
+    let code: Vec<&Token> = toks
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| !t.is_comment() && mask[*i] & MASK_TEST == 0)
+        .map(|(_, t)| t)
+        .collect();
+    let ident = |i: usize, text: &str| {
+        code.get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text(src) == text)
+    };
+    let punct = |i: usize, c: char| code.get(i).is_some_and(|t| t.punct(src) == Some(c));
+
+    let mut emits = Vec::new();
+    for i in 0..code.len() {
+        // `TraceEvent::new(` — 5 tokens; `.event(` — 3 tokens.
+        let (call_line, open) = if ident(i, "TraceEvent")
+            && punct(i + 1, ':')
+            && punct(i + 2, ':')
+            && ident(i + 3, "new")
+            && punct(i + 4, '(')
+        {
+            (code[i].line, i + 4)
+        } else if punct(i, '.') && ident(i + 1, "event") && punct(i + 2, '(') {
+            (code[i + 1].line, i + 2)
+        } else {
+            continue;
+        };
+        // Split the argument list at top-level commas.
+        let mut args: Vec<(usize, usize)> = Vec::new(); // [start, end) in code indices
+        let mut depth = 1u32;
+        let mut arg_start = open + 1;
+        let mut j = open + 1;
+        while j < code.len() && depth > 0 {
+            match code[j].punct(src) {
+                Some('(') | Some('[') | Some('{') => depth += 1,
+                Some(')') | Some(']') | Some('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        args.push((arg_start, j));
+                    }
+                }
+                Some(',') if depth == 1 => {
+                    args.push((arg_start, j));
+                    arg_start = j + 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // component = arg 1, kind = arg 2; both must be a single string
+        // literal, otherwise the site forwards non-literal values.
+        let literal = |r: &(usize, usize)| -> Option<String> {
+            if r.1 - r.0 != 1 {
+                return None;
+            }
+            code[r.0].str_inner(src).map(str::to_string)
+        };
+        if let (Some(c_arg), Some(k_arg)) = (args.get(1), args.get(2)) {
+            if let (Some(component), Some(kind)) = (literal(c_arg), literal(k_arg)) {
+                emits.push(TraceEmit {
+                    component,
+                    kind,
+                    line: call_line,
+                });
+            }
+        }
+    }
+    emits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemtree::cfg_mask;
+    use crate::lexer::lex;
+
+    fn extract(src: &str) -> Vec<(String, String)> {
+        let toks = lex(src);
+        let mask = cfg_mask(src, &toks);
+        extract_trace_emits(src, &toks, &mask)
+            .into_iter()
+            .map(|e| (e.component, e.kind))
+            .collect()
+    }
+
+    #[test]
+    fn extracts_literal_pairs_from_both_constructors() {
+        let src = r#"
+            fn f(tel: &mut Telemetry, t: SimTime) {
+                tel.event(t, "disk", "start", |e| e.num("lbn", 4));
+                let ev = TraceEvent::new(t, "emc", "mode");
+                push(ev);
+            }
+        "#;
+        assert_eq!(
+            extract(src),
+            vec![
+                ("disk".to_string(), "start".to_string()),
+                ("emc".to_string(), "mode".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_non_literal_pass_through_sites() {
+        // Telemetry::event's generic forwarding — component/kind are
+        // parameters, not literals: must not be recorded.
+        let src = r#"
+            pub fn event(&mut self, t: SimTime, component: &'static str, kind: &'static str) {
+                self.push(TraceEvent::new(t, component, kind));
+            }
+        "#;
+        assert!(extract(src).is_empty());
+    }
+
+    #[test]
+    fn skips_test_masked_emits() {
+        let src = r#"
+            fn real(tel: &mut Telemetry, t: SimTime) {
+                tel.event(t, "span", "open", |e| e);
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t(tel: &mut Telemetry, tt: SimTime) {
+                    tel.event(tt, "x", "k", |e| e);
+                }
+            }
+        "#;
+        assert_eq!(extract(src), vec![("span".to_string(), "open".to_string())]);
+    }
+
+    #[test]
+    fn nested_call_arguments_do_not_split_the_pair() {
+        let src = r#"
+            fn f(tel: &mut Telemetry) {
+                tel.event(clock.at(now(), 3), "crm", "phase", |e| e.num("p", phase(a, b)));
+            }
+        "#;
+        assert_eq!(extract(src), vec![("crm".to_string(), "phase".to_string())]);
+    }
+
+    #[test]
+    fn raw_string_kinds_are_unwrapped() {
+        let src = r##"fn f(tel: &mut Telemetry, t: SimTime) { tel.event(t, r"cache", r#"conservation"#, |e| e); }"##;
+        assert_eq!(
+            extract(src),
+            vec![("cache".to_string(), "conservation".to_string())]
+        );
+    }
+}

@@ -286,7 +286,7 @@ pub fn expected_cost(spec: &ExperimentSpec) -> u64 {
             a.workload.cost().max(1) * strategy_weight(a.strategy) * instances
         })
         .sum();
-    (programs + arrivals).max(1)
+    programs.saturating_add(arrivals).max(1)
 }
 
 /// Build a ready-to-run cluster from a spec. Purely a function of the

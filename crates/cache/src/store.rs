@@ -1,7 +1,7 @@
 //! The chunked global cache store.
 
 use dualpar_pfs::{FileId, FileRegion, RangeSet};
-use dualpar_sim::{FxHashMap, SimDuration, SimTime};
+use dualpar_sim::{FxHashMap, FxHashSet, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// A compute node in the cluster (cache homes live on compute nodes).
@@ -281,7 +281,7 @@ impl GlobalCache {
             let added = chunk.present.covered() - before;
             let pf_added = chunk.prefetched_unused.covered() - pf_before;
             self.ledger.inserted += pf_added;
-            self.ledger.unused_now += pf_added;
+            self.ledger.unused_now = self.ledger.unused_now.saturating_add(pf_added);
             self.charge(&mut chunk, owner, added);
             self.chunks.insert((file, idx), chunk);
             homes.push((home, sub.len));
@@ -313,7 +313,7 @@ impl GlobalCache {
             let pf_before = chunk.prefetched_unused.covered();
             chunk.present.insert(sub.offset, sub.len);
             chunk.dirty.insert(sub.offset, sub.len);
-            self.dirty_now += chunk.dirty.covered() - dirty_before;
+            self.dirty_now = self.dirty_now.saturating_add(chunk.dirty.covered() - dirty_before);
             // Written bytes are live data, not speculative.
             chunk.prefetched_unused.remove(sub.offset, sub.len);
             overwritten += pf_before - chunk.prefetched_unused.covered();
@@ -432,7 +432,7 @@ impl GlobalCache {
     /// boundaries: the previous phase's consumed prefetch data and
     /// written-back data must stop counting against the per-process quota.
     /// Returns bytes evicted. Dirty chunks are kept.
-    pub fn evict_clean_for(&mut self, files: &std::collections::HashSet<FileId>) -> u64 {
+    pub fn evict_clean_for(&mut self, files: &FxHashSet<FileId>) -> u64 {
         let mut evicted = 0u64;
         let mut pf_evicted = 0u64;
         let mut freed: Vec<(OwnerId, u64)> = Vec::new();

@@ -33,7 +33,7 @@ use dualpar_mpiio::{Op, ProgramScript};
 use dualpar_pfs::FileId;
 use dualpar_sim::SimTime;
 use dualpar_telemetry::{TelemetryConfig, TelemetryLevel};
-use std::collections::HashSet;
+use dualpar_sim::FxHashSet;
 
 /// Why an [`Experiment`] could not be assembled.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -297,7 +297,7 @@ impl Experiment {
         if self.cfg.stripe_size == 0 {
             return Err(ExperimentError::ZeroStripe);
         }
-        let mut names = HashSet::new();
+        let mut names = FxHashSet::default();
         for (name, size) in &self.files {
             if !names.insert(name.clone()) {
                 return Err(ExperimentError::DuplicateFile(name.clone()));
@@ -311,7 +311,7 @@ impl Experiment {
         for (name, size) in &self.files {
             ids.push(cluster.create_file(name, *size));
         }
-        let known: HashSet<FileId> = ids.iter().copied().collect();
+        let known: FxHashSet<FileId> = ids.iter().copied().collect();
         for def in self.programs {
             let script = (def.script)(&ids);
             if script.ranks.is_empty() {

@@ -208,7 +208,7 @@ mod tests {
     fn strategy_labels_are_distinct() {
         use IoStrategy::*;
         let all = [Vanilla, Collective, PrefetchOverlap, DualParForced, DualPar];
-        let labels: std::collections::HashSet<_> = all.iter().map(|s| s.label()).collect();
+        let labels: dualpar_sim::FxHashSet<_> = all.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), all.len());
         assert!(DualPar.is_dualpar() && DualParForced.is_dualpar());
         assert!(!Vanilla.is_dualpar());

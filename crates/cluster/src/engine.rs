@@ -13,7 +13,6 @@ use dualpar_pfs::{FileId, FileRegion, Pvfs};
 use dualpar_sim::{EventId, EventQueue, Link, SimDuration, SimTime, Slab, SlabKey, TimeSeries};
 use dualpar_telemetry::{SpanId, SpanProfile, Telemetry};
 use dualpar_sim::{FxHashMap, FxHashSet};
-use std::collections::HashSet;
 
 /// Safety valve: a single experiment should never need more events.
 const MAX_EVENTS: u64 = 2_000_000_000;
@@ -231,7 +230,7 @@ pub(crate) struct Program {
     pub name: String,
     pub strategy: IoStrategy,
     pub procs: std::ops::Range<usize>,
-    pub files: HashSet<FileId>,
+    pub files: FxHashSet<FileId>,
     pub mode: ExecMode,
     pub phase: Phase,
     pub phase_seq: u64,
@@ -406,7 +405,7 @@ impl Cluster {
         let nprocs = spec.script.nprocs();
         let name = spec.script.name.clone();
         let first_proc = self.procs.len();
-        let mut files = HashSet::new();
+        let mut files = FxHashSet::default();
         for (rank, script) in spec.script.ranks.into_iter().enumerate() {
             for op in &script.ops {
                 if let dualpar_mpiio::Op::Io(call) = op {
@@ -1222,7 +1221,7 @@ impl Cluster {
     }
 
     /// Drain dirty cache data belonging to the given files only.
-    pub(crate) fn drain_dirty_for(&mut self, files: &HashSet<FileId>) -> Vec<(FileId, FileRegion)> {
+    pub(crate) fn drain_dirty_for(&mut self, files: &FxHashSet<FileId>) -> Vec<(FileId, FileRegion)> {
         // The cache drains everything; re-buffer what belongs to others.
         // (Programs touch disjoint files in all experiments, so the
         // re-buffer path is rare; correctness is what matters.)

@@ -21,7 +21,7 @@
 use crate::config::{DualParConfig, ProgramId};
 use dualpar_disk::SECTOR_BYTES;
 use serde::Serialize;
-use std::collections::HashMap;
+use dualpar_sim::FxHashMap;
 
 /// The execution mode of a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -78,7 +78,7 @@ pub struct TickSample {
 /// The EMC daemon state.
 pub struct Emc {
     cfg: DualParConfig,
-    programs: HashMap<ProgramId, ProgramState>,
+    programs: FxHashMap<ProgramId, ProgramState>,
     /// This slot's seek-distance samples from data servers (sectors).
     seek_samples: Vec<f64>,
     /// This slot's request-distance samples from compute nodes (sectors).
@@ -94,7 +94,7 @@ impl Emc {
     pub fn new(cfg: DualParConfig) -> Self {
         Emc {
             cfg,
-            programs: HashMap::new(),
+            programs: FxHashMap::default(),
             seek_samples: Vec::new(),
             req_samples: Vec::new(),
             last_improvement: None,
@@ -116,8 +116,8 @@ impl Emc {
     /// Accumulate I/O vs total time for a program (from ADIO timing hooks).
     pub fn report_times(&mut self, program: ProgramId, io_ns: u64, total_ns: u64) {
         if let Some(p) = self.programs.get_mut(&program) {
-            p.io_time_ns += io_ns;
-            p.total_time_ns += total_ns;
+            p.io_time_ns = p.io_time_ns.saturating_add(io_ns);
+            p.total_time_ns = p.total_time_ns.saturating_add(total_ns);
         }
     }
 

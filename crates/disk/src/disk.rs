@@ -115,7 +115,7 @@ impl Disk {
     pub fn enqueue(&mut self, req: DiskRequest) {
         dualpar_sim::strict_assert!(req.sectors > 0, "zero-length disk request id={}", req.id);
         debug_assert!(
-            req.lbn + req.sectors <= self.params.capacity_sectors,
+            req.lbn.saturating_add(req.sectors) <= self.params.capacity_sectors,
             "request beyond end of disk: lbn={} sectors={} cap={}",
             req.lbn,
             req.sectors,
@@ -166,11 +166,11 @@ impl Disk {
                     req.sectors,
                     self.params.capacity_sectors
                 );
-                let finish = now + service;
+                let finish = now.saturating_add(service);
                 self.total_busy += service;
                 self.total_seek += dist;
                 *self.per_ctx_busy.entry(req.ctx).or_insert(SimDuration::ZERO) += service;
-                self.bytes_serviced += req.sectors * crate::model::SECTOR_BYTES;
+                self.bytes_serviced += req.sectors.saturating_mul(crate::model::SECTOR_BYTES);
                 self.head = req.end();
                 self.in_flight = Some(req);
                 StartOutcome::Started { finish }

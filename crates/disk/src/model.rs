@@ -59,7 +59,7 @@ impl DiskParams {
     /// 300 GB capacity, 130 MB/s streaming, 4.17 ms average rotational
     /// latency (7200 RPM), ~8.5 ms average seek.
     pub fn hdd_7200rpm() -> Self {
-        let capacity_sectors = 300 * (1u64 << 30) / SECTOR_BYTES;
+        let capacity_sectors = (300u64 << 30) / SECTOR_BYTES;
         // Calibrate the √-curve so a third-of-stroke seek costs ~8.5 ms.
         let third = (capacity_sectors / 3) as f64;
         let base = 300_000u64; // 0.3 ms track-to-track
@@ -89,7 +89,7 @@ impl DiskParams {
     /// Pure media transfer time for `sectors` at the outermost zone.
     #[inline]
     pub fn transfer_time(&self, sectors: u64) -> SimDuration {
-        SimDuration::for_transfer(sectors * SECTOR_BYTES, self.transfer_bytes_per_sec)
+        SimDuration::for_transfer(sectors.saturating_mul(SECTOR_BYTES), self.transfer_bytes_per_sec)
     }
 
     /// Media rate at a given LBN under zoned bit recording: outer tracks
@@ -108,7 +108,7 @@ impl DiskParams {
     /// Transfer time for `sectors` starting at `lbn`, honouring zoning.
     #[inline]
     pub fn transfer_time_at(&self, lbn: Lbn, sectors: u64) -> SimDuration {
-        SimDuration::for_transfer(sectors * SECTOR_BYTES, self.rate_at(lbn))
+        SimDuration::for_transfer(sectors.saturating_mul(SECTOR_BYTES), self.rate_at(lbn))
     }
 
     /// Full service time for a request starting at `lbn` of `sectors`
@@ -123,14 +123,14 @@ impl DiskParams {
         let distance = head.abs_diff(lbn);
         let mut t = SimDuration(self.overhead_ns);
         if distance != 0 {
-            let reposition = self.seek_time(distance) + SimDuration(self.rotational_ns);
+            let reposition = self.seek_time(distance).saturating_add(SimDuration(self.rotational_ns));
             if lbn > head {
-                t += reposition.min(self.transfer_time_at(head, distance));
+                t = t.saturating_add(reposition.min(self.transfer_time_at(head, distance)));
             } else {
                 t += reposition;
             }
         }
-        t += self.transfer_time_at(lbn, sectors);
+        t = t.saturating_add(self.transfer_time_at(lbn, sectors));
         (distance, t)
     }
 

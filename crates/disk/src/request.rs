@@ -101,7 +101,7 @@ impl DiskRequest {
     /// Perform the back merge, absorbing `next`'s ids.
     pub fn back_merge(&mut self, next: DiskRequest) {
         debug_assert!(self.can_back_merge(&next, u64::MAX));
-        self.sectors += next.sectors;
+        self.sectors = self.sectors.saturating_add(next.sectors);
         self.merged.extend(next.merged);
     }
 }

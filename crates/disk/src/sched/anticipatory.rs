@@ -12,7 +12,7 @@ use super::{Decision, Scheduler, DEFAULT_MAX_MERGE_SECTORS};
 use crate::model::Lbn;
 use crate::request::{DiskRequest, IoCtx, IoKind};
 use dualpar_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use dualpar_sim::FxHashMap;
 
 /// Anticipatory-scheduler tunables.
 #[derive(Debug, Clone)]
@@ -43,7 +43,7 @@ pub struct AnticipatoryScheduler {
     /// Armed anticipation deadline.
     antic_until: Option<SimTime>,
     /// Per-context verdict: did the last armed anticipation pay off?
-    antic_ok: HashMap<IoCtx, bool>,
+    antic_ok: FxHashMap<IoCtx, bool>,
 }
 
 impl AnticipatoryScheduler {
@@ -54,7 +54,7 @@ impl AnticipatoryScheduler {
             sorted: Vec::new(),
             last_ctx: None,
             antic_until: None,
-            antic_ok: HashMap::new(),
+            antic_ok: FxHashMap::default(),
         }
     }
 

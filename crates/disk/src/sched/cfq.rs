@@ -22,7 +22,8 @@ use super::{Decision, Scheduler, DEFAULT_MAX_MERGE_SECTORS};
 use crate::model::Lbn;
 use crate::request::{DiskRequest, IoCtx};
 use dualpar_sim::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use dualpar_sim::FxHashMap;
+use std::collections::VecDeque;
 
 /// CFQ tunables (Linux defaults).
 #[derive(Debug, Clone)]
@@ -112,7 +113,7 @@ impl CtxQueue {
 #[derive(Debug)]
 pub struct CfqScheduler {
     cfg: CfqConfig,
-    queues: HashMap<IoCtx, CtxQueue>,
+    queues: FxHashMap<IoCtx, CtxQueue>,
     /// Round-robin order of contexts that have (or recently had) requests.
     rr: VecDeque<IoCtx>,
     /// The context currently holding the slice.
@@ -128,7 +129,7 @@ impl CfqScheduler {
     pub fn new(cfg: CfqConfig) -> Self {
         CfqScheduler {
             cfg,
-            queues: HashMap::new(),
+            queues: FxHashMap::default(),
             rr: VecDeque::new(),
             active: None,
             slice_end: SimTime::ZERO,

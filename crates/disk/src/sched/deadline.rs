@@ -80,7 +80,7 @@ impl DeadlineScheduler {
     }
 
     fn purge_stale_fifo(&mut self) {
-        let live: std::collections::HashSet<u64> = self.sorted.iter().map(|r| r.id).collect();
+        let live: dualpar_sim::FxHashSet<u64> = self.sorted.iter().map(|r| r.id).collect();
         self.read_fifo.retain(|(_, id)| live.contains(id));
         self.write_fifo.retain(|(_, id)| live.contains(id));
     }

@@ -61,8 +61,8 @@ impl BlockTrace {
     pub fn record(&mut self, rec: TraceRecord) {
         self.seek_sum += rec.seek_distance;
         self.seek_count += 1;
-        self.window_sum += rec.seek_distance;
-        self.window_count += 1;
+        self.window_sum = self.window_sum.saturating_add(rec.seek_distance);
+        self.window_count += 1; // audit:allow — bounded by records seen
         if self.enabled {
             self.records.push(rec);
         }
@@ -116,7 +116,7 @@ impl BlockTrace {
                 sum += pe.abs_diff(r.lbn);
                 n += 1;
             }
-            prev_end = Some(r.lbn + r.sectors);
+            prev_end = Some(r.lbn.saturating_add(r.sectors));
         }
         if n == 0 {
             None

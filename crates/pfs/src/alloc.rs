@@ -10,7 +10,7 @@
 use crate::layout::FileId;
 use dualpar_disk::{bytes_to_sectors, Lbn};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use dualpar_sim::FxHashMap;
 
 /// A contiguous run of sectors on one disk backing part of a local object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,7 +52,7 @@ pub struct ExtentAllocator {
     cfg: AllocConfig,
     capacity_sectors: u64,
     next_lbn: Lbn,
-    objects: HashMap<FileId, Vec<Extent>>,
+    objects: FxHashMap<FileId, Vec<Extent>>,
 }
 
 impl ExtentAllocator {
@@ -63,7 +63,7 @@ impl ExtentAllocator {
             capacity_sectors,
             // Leave a superblock-ish region at the front.
             next_lbn: 2048,
-            objects: HashMap::new(),
+            objects: FxHashMap::default(),
         }
     }
 
@@ -89,7 +89,7 @@ impl ExtentAllocator {
             let chunk = remaining.min(frag);
             let sectors = bytes_to_sectors(chunk);
             assert!(
-                self.next_lbn + sectors <= self.capacity_sectors,
+                self.next_lbn.saturating_add(sectors) <= self.capacity_sectors,
                 "server disk full allocating {file:?}"
             );
             extents.push(Extent {
@@ -97,11 +97,16 @@ impl ExtentAllocator {
                 lbn: self.next_lbn,
                 bytes: chunk,
             });
-            self.next_lbn += sectors + bytes_to_sectors(self.cfg.fragment_gap);
+            self.next_lbn = self
+                .next_lbn
+                .saturating_add(sectors)
+                .saturating_add(bytes_to_sectors(self.cfg.fragment_gap));
             object_offset += chunk;
             remaining -= chunk;
         }
-        self.next_lbn += bytes_to_sectors(self.cfg.inter_file_gap);
+        self.next_lbn = self
+            .next_lbn
+            .saturating_add(bytes_to_sectors(self.cfg.inter_file_gap));
         self.objects.insert(file, extents);
     }
 
@@ -137,12 +142,12 @@ impl ExtentAllocator {
             let seg_end = end.min(e_end);
             let within = seg_start - e.object_offset;
             // Sector-granular: sub-sector offsets round the run outward.
-            let lbn = e.lbn + within / dualpar_disk::SECTOR_BYTES;
+            let lbn = e.lbn.saturating_add(within / dualpar_disk::SECTOR_BYTES);
             let sectors = bytes_to_sectors(seg_end - seg_start);
             // Merge with previous run when contiguous.
             if let Some(last) = runs.last_mut() {
-                if last.0 + last.1 == lbn {
-                    last.1 += sectors;
+                if last.0.saturating_add(last.1) == lbn {
+                    last.1 = last.1.saturating_add(sectors);
                     off = seg_end;
                     continue;
                 }

@@ -6,7 +6,7 @@ use crate::alloc::{AllocConfig, ExtentAllocator};
 use crate::layout::{FileId, FileRegion, ServerId, StripeLayout};
 use dualpar_disk::Lbn;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use dualpar_sim::FxHashMap;
 
 /// A file-region fragment resolved all the way to a disk address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,8 +42,8 @@ pub struct FileMeta {
 pub struct Pvfs {
     layout: StripeLayout,
     allocators: Vec<ExtentAllocator>,
-    files: HashMap<FileId, FileMeta>,
-    by_name: HashMap<String, FileId>,
+    files: FxHashMap<FileId, FileMeta>,
+    by_name: FxHashMap<String, FileId>,
     next_file: u32,
 }
 
@@ -55,8 +55,8 @@ impl Pvfs {
             allocators: (0..num_servers)
                 .map(|_| ExtentAllocator::new(capacity_sectors, alloc.clone()))
                 .collect(),
-            files: HashMap::new(),
-            by_name: HashMap::new(),
+            files: FxHashMap::default(),
+            by_name: FxHashMap::default(),
             next_file: 1,
         }
     }
@@ -127,14 +127,15 @@ impl Pvfs {
             let alloc = &self.allocators[piece.server.0 as usize];
             let mut covered = 0u64;
             for (lbn, sectors) in alloc.translate(file, piece.local_offset, piece.len) {
-                let run_bytes = (sectors * dualpar_disk::SECTOR_BYTES).min(piece.len - covered);
+                let run_bytes =
+                    (sectors.saturating_mul(dualpar_disk::SECTOR_BYTES)).min(piece.len - covered);
                 // Merge with the previous run if it continues it on disk.
                 if let Some(last) = out.last_mut() {
                     if last.server == piece.server
-                        && last.lbn + last.sectors == lbn
+                        && last.lbn.saturating_add(last.sectors) == lbn
                         && last.file_offset + last.bytes == piece.file_offset + covered
                     {
-                        last.sectors += sectors;
+                        last.sectors = last.sectors.saturating_add(sectors);
                         last.bytes += run_bytes;
                         covered += run_bytes;
                         continue;
@@ -226,7 +227,7 @@ mod tests {
         // per-server disk addresses too.
         let mut p = fs();
         let f = p.create("big", 64 << 20);
-        let mut per_server_lbns: HashMap<ServerId, Vec<Lbn>> = HashMap::new();
+        let mut per_server_lbns: FxHashMap<ServerId, Vec<Lbn>> = FxHashMap::default();
         for i in 0..256u64 {
             for r in p.resolve(f, FileRegion::new(i * 256 * 1024, 4096)) {
                 per_server_lbns.entry(r.server).or_default().push(r.lbn);

@@ -45,11 +45,11 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
-    cancelled: std::collections::HashSet<u64>,
+    cancelled: crate::hash::FxHashSet<u64>,
     /// Seqs scheduled but neither fired nor cancelled. Needed so `len` and
     /// `cancel` can tell a pending id from one that already fired (lazy
     /// deletion leaves fired/cancelled seqs indistinguishable otherwise).
-    pending: std::collections::HashSet<u64>,
+    pending: crate::hash::FxHashSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -64,8 +64,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
-            cancelled: std::collections::HashSet::new(),
-            pending: std::collections::HashSet::new(),
+            cancelled: crate::hash::FxHashSet::default(),
+            pending: crate::hash::FxHashSet::default(),
         }
     }
 

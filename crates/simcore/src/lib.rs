@@ -8,7 +8,9 @@
 //! * [`rng`] — labelled deterministic random streams;
 //! * [`stats`] — online statistics, time series, exact percentiles;
 //! * [`resource`] — FIFO resources and latency/bandwidth links;
-//! * [`slab`] — generational slab storage with stale-handle detection.
+//! * [`slab`] — generational slab storage with stale-handle detection;
+//! * [`pool`] — order-preserving scoped worker pool (determinism-safe
+//!   parallel maps shared by the suite runner and the lint scanner).
 //!
 //! Everything is single-threaded and allocation-conscious; determinism is a
 //! hard guarantee (same seed ⇒ bit-identical run), which the property tests
@@ -16,6 +18,7 @@
 
 pub mod event;
 pub mod hash;
+pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod slab;
@@ -51,6 +54,7 @@ macro_rules! strict_assert_eq {
 
 pub use event::{EventId, EventQueue};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use pool::{parallel_map, parallel_map_prioritized};
 pub use resource::{FifoResource, Link};
 pub use rng::DetRng;
 pub use slab::{Slab, SlabKey};

@@ -24,6 +24,7 @@
 #![deny(missing_docs)]
 
 pub mod profile;
+pub mod schema;
 pub mod span;
 
 pub use profile::{folded, CriticalPathHop, ProcStateRow, SpanProfile};

@@ -347,13 +347,18 @@ impl S3asim {
                     ops.push(compute(self.compute_per_query));
                 }
                 for f in 0..self.fragments {
-                    let len = rng.uniform_u64(self.min_seq, self.max_seq + 1).min(slice);
+                    let len = rng
+                .uniform_u64(self.min_seq, self.max_seq.saturating_add(1))
+                .min(slice);
                     let jitter = if slice > len {
-                        rng.uniform_u64(0, slice - len + 1)
+                        rng.uniform_u64(0, (slice - len).saturating_add(1))
                     } else {
                         0
                     };
-                    let off = f * frag_size + rank as u64 * slice + jitter;
+                    let off = f
+                .saturating_mul(frag_size)
+                .saturating_add((rank as u64).saturating_mul(slice))
+                .saturating_add(jitter);
                     ops.push(io_region(IoKind::Read, db, off, len.max(1), self.collective));
                 }
                 // Write merged results for this query.

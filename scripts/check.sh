@@ -9,10 +9,28 @@ cargo build --release --offline
 cargo test -q --offline
 cargo clippy --offline --all-targets -- -D warnings
 
-# Source lint: no unwrap/panic in library code, no std::sync::Mutex, no
-# narrowing casts in the disk/cache hot paths (see docs/AUDIT.md).
+# Source lint: token-aware pass over crates/*/src — unwrap/panic/locks,
+# determinism hazards (std hashing, wall-clock, env reads, unguarded
+# time/LBN arithmetic), narrowing casts in the disk/cache hot paths, and
+# the trace-schema emitter/auditor cross-check (see docs/LINT.md). Gate
+# on the JSON report: zero deny findings AND zero stale allow entries.
 cargo build --release --offline -p dualpar-audit
-./target/release/dualpar-audit lint --root . --allow scripts/lint-allow.txt
+lint_json="$(./target/release/dualpar-audit lint --root . \
+    --allow scripts/lint-allow.txt --format json --jobs "$(nproc)")" || {
+    echo "$lint_json"
+    echo "check.sh: lint gate failed" >&2
+    exit 1
+}
+echo "$lint_json" | grep -q '"deny":0,' || {
+    echo "$lint_json"
+    echo "check.sh: lint reported deny findings" >&2
+    exit 1
+}
+echo "$lint_json" | grep -q '"unused_suppressions":0,' || {
+    echo "$lint_json"
+    echo "check.sh: stale entries in scripts/lint-allow.txt" >&2
+    exit 1
+}
 
 # Trace audit: replay the paper's interference scenario (scaled down),
 # record the adaptive run's event trace, and check every simulation

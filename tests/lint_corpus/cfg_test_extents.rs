@@ -1,0 +1,16 @@
+//! Regression corpus for the cfg(test) extent tracker.
+
+#[cfg(test)]
+#[allow(dead_code)] fn helper() { maybe().unwrap(); }
+fn real_after_stacked() { maybe().unwrap(); }
+
+#[cfg(test)]
+/* a block comment with a { brace */
+fn masked_after_comment() { maybe().unwrap(); }
+fn real_after_comment() { maybe().unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    fn inside() { maybe().unwrap(); }
+}
+fn real_after_mod() { maybe().unwrap(); }

@@ -1,0 +1,6 @@
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+fn total(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}

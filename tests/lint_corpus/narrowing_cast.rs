@@ -1,0 +1,9 @@
+fn shrink(x: u64) -> u32 {
+    x as u32
+}
+fn widen(x: u32) -> u64 {
+    x as u64
+}
+fn to_usize(x: u32) -> usize {
+    x as usize
+}

@@ -1,0 +1,15 @@
+fn deadline(arrival: u64, expire: u64) -> u64 {
+    arrival + expire
+}
+fn bytes(sectors: u64) -> u64 {
+    sectors*512
+}
+fn guarded(now: u64, slice: u64) -> u64 {
+    now.saturating_add(slice)
+}
+fn neutral(i: usize) -> usize {
+    i + 1
+}
+fn deref(times: &u64) -> bool {
+    if *times == 0 { true } else { false }
+}

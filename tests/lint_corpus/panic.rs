@@ -1,0 +1,9 @@
+fn fail_fast(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+// panic!("in a comment")
+fn message() -> &'static str {
+    "panic!(not code)"
+}

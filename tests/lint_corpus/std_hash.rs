@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+use std::collections::VecDeque;
+fn keyspace(m: &HashMap<u32, u32>, s: &HashSet<u32>) -> usize {
+    m.len() + s.len()
+}
+fn ok(q: &VecDeque<u32>, b: &BTreeMap<u32, u32>) -> usize {
+    q.len() + b.len()
+}

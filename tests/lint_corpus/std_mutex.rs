@@ -1,0 +1,4 @@
+use std::sync::Mutex;
+fn guard(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned")
+}

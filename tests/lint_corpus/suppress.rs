@@ -1,0 +1,5 @@
+fn startup(opt: Option<u32>) -> u32 {
+    let a = opt.unwrap(); // audit:allow -- fail-fast startup path
+    let b = opt.unwrap();
+    a + b
+}

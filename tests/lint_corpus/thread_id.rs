@@ -1,0 +1,3 @@
+fn worker_tag() -> std::thread::ThreadId {
+    std::thread::current().id()
+}

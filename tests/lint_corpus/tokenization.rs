@@ -1,0 +1,12 @@
+fn tricky<'a>(x: &'a str) -> &'a str {
+    let raw = r#"contains .unwrap() and panic!("x") and 'a' quotes"#;
+    let nested = "escaped \" quote then .unwrap()";
+    /* nested /* block */ comment with panic!("y") */
+    let c = 'x';
+    let esc = '\'';
+    let byte = b'\n';
+    let bytes = b"panic!(no)";
+    let rawb = br#".unwrap()"#;
+    keep(raw, nested, c, esc, byte, bytes, rawb);
+    x
+}

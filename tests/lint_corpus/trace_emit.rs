@@ -1,0 +1,12 @@
+fn instrument(tel: &mut Telemetry, t: SimTime) {
+    tel.event(t, "disk", "start", |e| e.num("lbn", 7));
+    let ev = TraceEvent::new(t, "emc", "mode");
+    tel.push(ev);
+    tel.event(t, component_of(), kind_of(), |e| e);
+}
+#[cfg(test)]
+mod tests {
+    fn masked(tel: &mut Telemetry, t: SimTime) {
+        tel.event(t, "x", "k", |e| e);
+    }
+}

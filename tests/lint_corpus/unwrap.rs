@@ -1,0 +1,17 @@
+// Corpus: the unwrap rule fires on real code only.
+fn library(opt: Option<u32>) -> u32 {
+    let a = opt.unwrap();
+    // a.unwrap() in a line comment is fine
+    /* b.unwrap() in a block comment is fine */
+    let s = "c.unwrap() in a string";
+    let r = r#"d.unwrap() in a raw string"#;
+    keep(s, r);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests(opt: Option<u32>) -> u32 {
+        opt.unwrap()
+    }
+}

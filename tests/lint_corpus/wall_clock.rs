@@ -1,0 +1,6 @@
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

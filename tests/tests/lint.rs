@@ -1,0 +1,255 @@
+//! Lint-engine integration tests: the fixture corpus under
+//! `tests/lint_corpus/`, a lexer span round-trip property, and the
+//! workspace gate itself (the real tree must lint clean with the
+//! checked-in allow-list — the same bar `scripts/check.sh` enforces).
+
+use dualpar_audit::lexer::{lex, TokKind};
+use dualpar_audit::lint::{lint_workspace, scan_file, AllowList};
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("lint_corpus")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate lives under the workspace root")
+        .to_path_buf()
+}
+
+/// Parse a `.expected` manifest: optional `flags: hot` header, then
+/// `line rule` per line; `#` comments and blanks ignored.
+fn parse_expected(text: &str) -> (bool, Vec<(u32, String)>) {
+    let mut hot = false;
+    let mut expected = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(flags) = line.strip_prefix("flags:") {
+            hot = flags.split_whitespace().any(|f| f == "hot");
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let lineno: u32 = parts
+            .next()
+            .expect("manifest line starts with a line number")
+            .parse()
+            .expect("line number parses");
+        let rule = parts.next().expect("manifest line names a rule");
+        expected.push((lineno, rule.to_string()));
+    }
+    (hot, expected)
+}
+
+#[test]
+fn corpus_fixtures_produce_exactly_the_expected_findings() {
+    let dir = corpus_dir();
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("lint_corpus directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 14,
+        "corpus should cover every rule (found {})",
+        fixtures.len()
+    );
+    for fixture in fixtures {
+        let src = fs::read_to_string(&fixture).expect("fixture readable");
+        let manifest = fixture.with_extension("expected");
+        let (hot, expected) = parse_expected(
+            &fs::read_to_string(&manifest)
+                .unwrap_or_else(|e| panic!("{} missing: {e}", manifest.display())),
+        );
+        let scan = scan_file(&fixture, &src, hot);
+        let got: Vec<(u32, String)> = scan
+            .findings
+            .iter()
+            .map(|f| (f.line, f.rule.to_string()))
+            .collect();
+        assert_eq!(
+            got,
+            expected,
+            "fixture {} findings diverge:\n{}",
+            fixture.display(),
+            scan.findings
+                .iter()
+                .map(|f| f.render())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // Fixtures with an `.emits` manifest also pin the trace-emit
+        // extraction: `line component kind` per line.
+        let emits_manifest = fixture.with_extension("emits");
+        if let Ok(text) = fs::read_to_string(&emits_manifest) {
+            let expected_emits: Vec<(u32, String, String)> = text
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| {
+                    let mut p = l.split_whitespace();
+                    (
+                        p.next().unwrap().parse().unwrap(),
+                        p.next().unwrap().to_string(),
+                        p.next().unwrap().to_string(),
+                    )
+                })
+                .collect();
+            let got_emits: Vec<(u32, String, String)> = scan
+                .emits
+                .iter()
+                .map(|e| (e.line, e.component.clone(), e.kind.clone()))
+                .collect();
+            assert_eq!(got_emits, expected_emits, "fixture {}", fixture.display());
+        }
+    }
+}
+
+#[test]
+fn workspace_lints_clean_with_checked_in_allowlist() {
+    let root = workspace_root();
+    let mut allow = AllowList::load(&root.join("scripts/lint-allow.txt"))
+        .expect("allow-list loads");
+    let report = lint_workspace(&root, &mut allow, 2).expect("workspace walk succeeds");
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert_eq!(
+        report.deny(),
+        0,
+        "deny findings in the workspace:\n{}",
+        rendered.join("\n")
+    );
+    assert_eq!(
+        report.unused_suppressions(),
+        0,
+        "stale allow-list entries:\n{}",
+        rendered.join("\n")
+    );
+    assert!(report.ok());
+    assert!(report.files_scanned > 50, "walk looks truncated");
+}
+
+#[test]
+fn finding_order_is_identical_at_any_job_count() {
+    let root = workspace_root();
+    let reports: Vec<_> = [1usize, 4]
+        .iter()
+        .map(|&jobs| {
+            let mut allow = AllowList::load(&root.join("scripts/lint-allow.txt"))
+                .expect("allow-list loads");
+            lint_workspace(&root, &mut allow, jobs).expect("workspace walk succeeds")
+        })
+        .collect();
+    assert_eq!(reports[0].files_scanned, reports[1].files_scanned);
+    assert_eq!(reports[0].findings, reports[1].findings);
+    assert_eq!(reports[0].to_json(), reports[1].to_json());
+}
+
+/// Source fragments that exercise every tricky lexical form. Interleaved
+/// with whitespace they must always lex into a span tiling of the input.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z_]{1,7}".prop_map(|s| s),
+        Just("r#match".to_string()),
+        "[0-9]{1,4}".prop_map(|s| s),
+        Just("1.5e-3".to_string()),
+        // Strings: regular (escapes), raw at varying hash depth, byte.
+        "[ -~]{0,6}".prop_map(|s| format!("{:?}", s)),
+        ("[a-z\"'{} ]{0,8}", 0usize..3).prop_map(|(body, h)| {
+            let hashes = "#".repeat(h + 1); // body may contain a bare quote
+            format!("r{hashes}\"{body}\"{hashes}")
+        }),
+        "[a-z ]{0,6}".prop_map(|s| format!("b\"{s}\"")),
+        // Chars and lifetimes.
+        Just("'x'".to_string()),
+        Just("'\\n'".to_string()),
+        Just("'\\u{1F600}'".to_string()),
+        Just("b'q'".to_string()),
+        Just("'static".to_string()),
+        Just("'a".to_string()),
+        Just("'_".to_string()),
+        // Comments: line, block, nested block, doc.
+        "[a-z'\"{} ]{0,10}".prop_map(|s| format!("// {s}\n")),
+        "[a-z'\" ]{0,8}".prop_map(|s| format!("/* {s} */")),
+        "[a-z ]{0,6}".prop_map(|s| format!("/* a /* {s} */ b */")),
+        Just("/// doc { comment }\n".to_string()),
+        // Punctuation runs.
+        Just("::<>(){}[];,.#!&|+-*/=".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_spans_tile_any_fragment_soup(
+        parts in proptest::collection::vec(
+            (
+                fragment(),
+                prop_oneof![Just(" "), Just("\n"), Just("\t"), Just("  ")],
+            ),
+            0..24,
+        )
+    ) {
+        let mut src = String::new();
+        for (frag, ws) in &parts {
+            src.push_str(frag);
+            src.push_str(ws);
+        }
+        let toks = lex(&src);
+        // Spans are in order, non-empty, within bounds, and the gaps
+        // between consecutive tokens are pure whitespace.
+        let mut pos = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= pos, "overlapping token {t:?} in {src:?}");
+            prop_assert!(t.end > t.start, "empty token {t:?}");
+            prop_assert!(t.end <= src.len());
+            prop_assert!(
+                src[pos..t.start].chars().all(char::is_whitespace),
+                "non-whitespace gap before {t:?} in {src:?}"
+            );
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            pos = t.end;
+        }
+        prop_assert!(
+            src[pos..].chars().all(char::is_whitespace),
+            "unlexed tail {:?} of {src:?}",
+            &src[pos..]
+        );
+        // Line numbers are monotone and match the newline count.
+        let mut last_line = 1u32;
+        for t in &toks {
+            let computed = 1 + src[..t.start].bytes().filter(|&b| b == b'\n').count() as u32;
+            prop_assert_eq!(t.line, computed, "line drift at {:?}", t);
+            prop_assert!(t.line >= last_line);
+            last_line = t.line;
+        }
+        // Lexing is a pure function of the source.
+        prop_assert_eq!(&toks, &lex(&src));
+    }
+
+    #[test]
+    fn comment_and_string_tokens_never_leak_code(
+        inner in "[a-z .()!]{0,12}"
+    ) {
+        // Whatever we bury in a comment or string, the only *code* tokens
+        // are the surrounding scaffold.
+        let src = format!(
+            "fn f() {{ let s = \"{inner}\"; /* {inner} */ s }} // {inner}"
+        );
+        let toks = lex(&src);
+        let code: Vec<_> = toks
+            .iter()
+            .filter(|t| !t.is_comment() && t.kind != TokKind::Str && t.kind != TokKind::RawStr)
+            .map(|t| t.text(&src).to_string())
+            .collect();
+        prop_assert_eq!(
+            code,
+            vec!["fn", "f", "(", ")", "{", "let", "s", "=", ";", "s", "}"]
+        );
+    }
+}
