@@ -21,7 +21,12 @@
 //! `--baseline` switches from trace auditing to report diffing: both
 //! arguments are `RunReport` JSON files (`dualpar profile <t> --json`),
 //! and the exit code reflects whether any simulated-time metric regressed
-//! past `--max-regress-pct` (default 5). See [`dualpar_audit::baseline`].
+//! past `--max-regress-pct` (default 5). When both arguments are instead
+//! whole-suite summaries (`dualpar suite` artifacts, schema
+//! `dualpar-bench-suite/v1`), the diff runs per suite entry: per-run
+//! `sim_events` + report fingerprints must match and every run must have
+//! completed, while events-per-second movement (machine-dependent) is
+//! reported without gating. See [`dualpar_audit::baseline`].
 //!
 //! Exit status: 0 — clean; 1 — violations, regressions, or lint findings;
 //! 2 — usage or I/O error.
@@ -119,8 +124,11 @@ fn cmd_trace(args: &[String]) -> Result<bool, String> {
     Ok(report.ok())
 }
 
-/// Diff a new report against a baseline report; clean means no metric
-/// regressed past the threshold.
+/// Diff a new report against a baseline; clean means no metric regressed
+/// past the threshold. When both files are whole-suite summaries
+/// (`BENCH_suite.json`), the diff switches to per-run mode: determinism
+/// fields (`sim_events`, `report_fingerprint`, completion) gate the exit
+/// code, event-rate movement is reported.
 fn cmd_baseline(
     old_path: &std::path::Path,
     new_path: &std::path::Path,
@@ -131,7 +139,7 @@ fn cmd_baseline(
         .map_err(|e| format!("reading {}: {e}", old_path.display()))?;
     let new = fs::read_to_string(new_path)
         .map_err(|e| format!("reading {}: {e}", new_path.display()))?;
-    let diff = baseline::diff_report_strs(&old, &new, max_regress_pct)?;
+    let diff = baseline::diff_strs_auto(&old, &new, max_regress_pct)?;
     print!("{}", diff.render_text());
     let json = diff.to_json();
     match json_out {

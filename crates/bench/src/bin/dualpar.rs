@@ -35,6 +35,8 @@
 //!     --filter-exact btio_dualpar     # exactly this entry
 //! cargo run --release -p dualpar-bench --bin dualpar -- suite \
 //!     --spec scenario.json            # entries from a JSON spec file
+//! cargo run --release -p dualpar-bench --bin dualpar -- suite \
+//!     --timeout-secs 300              # fail (not hang) runs over 5 min
 //! ```
 //!
 //! A specification names the cluster configuration (all fields optional —
@@ -66,12 +68,12 @@
 //! `{"entries": [{"name": ..., "spec": {...}}, ...]}`.
 
 use dualpar_bench::suite::{
-    builtin_suite, entries_from_spec_json, filter_entries, run_entry, run_parallel, summarize,
-    Scale,
+    builtin_suite, entries_from_spec_json, filter_entries, run_entry, run_parallel_with_timeout,
+    summarize_results, Scale,
 };
 use dualpar_bench::{build_cluster, ExperimentSpec};
 use dualpar_cluster::TelemetryLevel;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Pull `--flag value` out of the argument list, if present.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -137,7 +139,7 @@ fn main() {
         eprintln!(
             "usage: dualpar <spec.json> [--telemetry off|counters|trace] [--trace <out.jsonl>]"
         );
-        eprintln!("       dualpar suite [--jobs N] [--scale small|paper] [--spec <path>] [--out <path>] [--filter <substr>] [--filter-exact <name>] [--verify-serial]");
+        eprintln!("       dualpar suite [--jobs N] [--scale small|paper] [--spec <path>] [--out <path>] [--filter <substr>] [--filter-exact <name>] [--timeout-secs S] [--verify-serial]");
         eprintln!("       (or --example to print a spec template)");
         std::process::exit(2);
     };
@@ -226,9 +228,19 @@ fn run_suite_command(mut args: Vec<String>) {
     let filter = take_flag(&mut args, "--filter");
     let filter_exact = take_flag(&mut args, "--filter-exact");
     let verify_serial = take_switch(&mut args, "--verify-serial");
+    let timeout = match take_flag(&mut args, "--timeout-secs") {
+        None => None,
+        Some(v) => match v.parse::<f64>() {
+            Ok(secs) if secs > 0.0 && secs.is_finite() => Some(Duration::from_secs_f64(secs)),
+            _ => {
+                eprintln!("--timeout-secs requires a positive number of seconds, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    };
     reject_unknown_flags(
         &args,
-        "--jobs, --scale, --spec, --out, --filter, --filter-exact or --verify-serial",
+        "--jobs, --scale, --spec, --out, --filter, --filter-exact, --timeout-secs or --verify-serial",
     );
     if args.len() > 1 {
         eprintln!("unexpected argument {:?}", args[1]);
@@ -275,16 +287,20 @@ fn run_suite_command(mut args: Vec<String>) {
     }
     eprintln!("running {} experiments with --jobs {jobs}", entries.len());
     let t0 = Instant::now();
-    let runs = run_parallel(&entries, jobs);
+    let results = run_parallel_with_timeout(&entries, jobs, timeout);
     let total_wall = t0.elapsed().as_secs_f64();
+    let failed = results.iter().filter(|r| r.is_err()).count();
 
     let mut serial_walls: Option<Vec<f64>> = None;
     if verify_serial {
         // Serial twin: every report must be byte-identical to the pooled
         // run's, or the suite is rightly declared non-deterministic.
+        // Failed (timed-out) entries have no report to compare; they are
+        // skipped here and already counted toward the exit status.
         let mut mismatches = 0;
         let mut walls = Vec::with_capacity(entries.len());
-        for (entry, pooled) in entries.iter().zip(&runs) {
+        for (entry, pooled) in entries.iter().zip(&results) {
+            let Ok(pooled) = pooled else { continue };
             let serial = run_entry(entry);
             if serial.report_json != pooled.report_json {
                 eprintln!("DETERMINISM VIOLATION: {} differs from its serial twin", entry.name);
@@ -296,11 +312,14 @@ fn run_suite_command(mut args: Vec<String>) {
             eprintln!("{mismatches} run(s) diverged between --jobs {jobs} and serial");
             std::process::exit(1);
         }
-        eprintln!("verify-serial: all {} reports byte-identical", runs.len());
+        eprintln!(
+            "verify-serial: all {} reports byte-identical",
+            results.len() - failed
+        );
         serial_walls = Some(walls);
     }
 
-    let mut summary = summarize(&runs, jobs, total_wall);
+    let mut summary = summarize_results(&results, jobs, total_wall);
     if let Some(walls) = serial_walls {
         // Replace the oversubscription-biased in-pool walls with the true
         // serial measurements the verification pass just produced.
@@ -316,10 +335,13 @@ fn run_suite_command(mut args: Vec<String>) {
         "run", "wall s", "sim events", "events/s", "MB/s"
     );
     for r in &summary.runs {
-        eprintln!(
-            "{:<20} {:>9.3} {:>12} {:>12.0} {:>10.1}",
-            r.name, r.wall_secs, r.sim_events, r.sim_events_per_sec, r.aggregate_mbps
-        );
+        match &r.error {
+            Some(err) => eprintln!("{:<20} FAILED: {err}", r.name),
+            None => eprintln!(
+                "{:<20} {:>9.3} {:>12} {:>12.0} {:>10.1}",
+                r.name, r.wall_secs, r.sim_events, r.sim_events_per_sec, r.aggregate_mbps
+            ),
+        }
     }
     eprintln!(
         "suite wall {:.2}s, serial-sum {:.2}s, speedup {:.2}x (jobs={})",
@@ -339,6 +361,12 @@ fn run_suite_command(mut args: Vec<String>) {
         std::process::exit(1);
     });
     eprintln!("[saved {}]", out_path.display());
+    if failed > 0 {
+        // The artifact above records each failure; the exit status makes
+        // sure no caller mistakes a partial suite for a clean one.
+        eprintln!("{failed} run(s) failed (see \"error\" fields in the summary)");
+        std::process::exit(1);
+    }
 }
 
 /// `dualpar profile`: run one experiment with span recording forced on and

@@ -25,12 +25,12 @@
 use crate::spec::{build_cluster, expected_cost, ExperimentSpec, ProgramEntry, WorkloadSpec};
 use dualpar_cluster::prelude::IoKind;
 use dualpar_cluster::{IoStrategy, RunReport, TelemetryLevel};
-use dualpar_sim::FxHasher;
+use dualpar_sim::{run_with_deadline, DeadlineError, FxHasher};
 pub use dualpar_sim::{parallel_map, parallel_map_prioritized};
 use dualpar_workloads::{Btio, Hpio, IorMpiIo, MpiIoTest, Noncontig, S3asim};
 use serde::{Deserialize, Serialize};
 use std::hash::Hasher;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One named run of a suite.
 #[derive(Debug, Clone)]
@@ -99,13 +99,64 @@ pub fn run_entry(entry: &SuiteEntry) -> SuiteRun {
     }
 }
 
+/// A suite entry that produced no report: it either overran the per-run
+/// deadline or its worker panicked. Carries everything the summary needs
+/// to still account for the entry.
+#[derive(Debug)]
+pub struct FailedRun {
+    pub name: String,
+    /// Human-readable cause, reproduced verbatim in `BENCH_suite.json`.
+    pub error: String,
+}
+
+/// Outcome of one suite entry under [`run_parallel_with_timeout`].
+pub type SuiteRunResult = Result<SuiteRun, FailedRun>;
+
 /// Run a whole suite, `jobs` entries at a time, claiming entries in
 /// longest-expected-first order so the dominant run never serializes the
 /// tail. Entry `i` of the result corresponds to entry `i` of the input,
 /// whatever order they started or finished in.
 pub fn run_parallel(entries: &[SuiteEntry], jobs: usize) -> Vec<SuiteRun> {
+    run_parallel_with_timeout(entries, jobs, None)
+        .into_iter()
+        .map(|r| match r {
+            Ok(run) => run,
+            Err(f) => unreachable!("{}: failure without a deadline configured: {}", f.name, f.error),
+        })
+        .collect()
+}
+
+/// [`run_parallel`] with an optional per-run wall-clock deadline: an entry
+/// that overruns `timeout` fails with a reported error instead of hanging
+/// the whole suite. The hung simulation's thread is abandoned, not killed
+/// (see [`run_with_deadline`]), so a timed-out suite should exit soon
+/// after reporting. Without a timeout, entries run directly on the pool
+/// workers and a panic propagates as before.
+pub fn run_parallel_with_timeout(
+    entries: &[SuiteEntry],
+    jobs: usize,
+    timeout: Option<Duration>,
+) -> Vec<SuiteRunResult> {
     let costs: Vec<u64> = entries.iter().map(|e| expected_cost(&e.spec)).collect();
-    parallel_map_prioritized(entries, jobs, &costs, |_, e| run_entry(e))
+    parallel_map_prioritized(entries, jobs, &costs, |_, e| {
+        let Some(limit) = timeout else {
+            return Ok(run_entry(e));
+        };
+        // The deadline thread outlives the borrow of `e`, so it gets its
+        // own copy of the entry.
+        let owned = e.clone();
+        match run_with_deadline(move || run_entry(&owned), limit) {
+            Ok(run) => Ok(run),
+            Err(DeadlineError::TimedOut) => Err(FailedRun {
+                name: e.name.clone(),
+                error: format!("timed out after {:.1}s wall-clock", limit.as_secs_f64()),
+            }),
+            Err(DeadlineError::Panicked) => Err(FailedRun {
+                name: e.name.clone(),
+                error: "worker panicked before producing a report".into(),
+            }),
+        }
+    })
 }
 
 /// Keep the entries whose name matches `filter`, in their original order:
@@ -200,6 +251,10 @@ pub struct SuiteRunSummary {
     pub aggregate_mbps: f64,
     /// Fingerprint of the serialized report; equal across `--jobs` levels.
     pub report_fingerprint: String,
+    /// `null` for a completed run; the failure cause (timeout, panic) for
+    /// an entry that produced no report — every numeric field above is
+    /// zero and the fingerprint empty in that case.
+    pub error: Option<String>,
 }
 
 /// Machine-readable output of `dualpar suite` (`BENCH_suite.json`).
@@ -236,22 +291,68 @@ pub fn summarize(runs: &[SuiteRun], jobs: usize, total_wall_secs: f64) -> SuiteS
         } else {
             0.0
         },
-        runs: runs
+        runs: runs.iter().map(summarize_run).collect(),
+    }
+}
+
+fn summarize_run(r: &SuiteRun) -> SuiteRunSummary {
+    SuiteRunSummary {
+        name: r.name.clone(),
+        wall_secs: r.wall_secs,
+        telemetry: r.telemetry,
+        spans: r.spans,
+        sim_events: r.report.events_processed,
+        sim_events_per_sec: if r.wall_secs > 0.0 {
+            r.report.events_processed as f64 / r.wall_secs
+        } else {
+            0.0
+        },
+        sim_end_secs: r.report.sim_end.as_secs_f64(),
+        aggregate_mbps: r.report.aggregate_throughput_mbps(),
+        report_fingerprint: report_fingerprint(&r.report_json),
+        error: None,
+    }
+}
+
+/// [`summarize`] over deadline-aware results: failed entries keep their
+/// slot in `runs` with the error recorded and every measurement zeroed,
+/// so a partially-failed suite still writes a complete, honest artifact.
+pub fn summarize_results(
+    results: &[SuiteRunResult],
+    jobs: usize,
+    total_wall_secs: f64,
+) -> SuiteSummary {
+    let serial_wall_secs_sum: f64 = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.wall_secs)
+        .sum();
+    SuiteSummary {
+        schema: SUITE_SCHEMA,
+        jobs,
+        total_wall_secs,
+        serial_wall_secs_sum,
+        speedup_estimate: if total_wall_secs > 0.0 {
+            serial_wall_secs_sum / total_wall_secs
+        } else {
+            0.0
+        },
+        runs: results
             .iter()
-            .map(|r| SuiteRunSummary {
-                name: r.name.clone(),
-                wall_secs: r.wall_secs,
-                telemetry: r.telemetry,
-                spans: r.spans,
-                sim_events: r.report.events_processed,
-                sim_events_per_sec: if r.wall_secs > 0.0 {
-                    r.report.events_processed as f64 / r.wall_secs
-                } else {
-                    0.0
+            .map(|r| match r {
+                Ok(run) => summarize_run(run),
+                Err(f) => SuiteRunSummary {
+                    name: f.name.clone(),
+                    wall_secs: 0.0,
+                    telemetry: "",
+                    spans: false,
+                    sim_events: 0,
+                    sim_events_per_sec: 0.0,
+                    sim_end_secs: 0.0,
+                    aggregate_mbps: 0.0,
+                    report_fingerprint: String::new(),
+                    error: Some(f.error.clone()),
                 },
-                sim_end_secs: r.report.sim_end.as_secs_f64(),
-                aggregate_mbps: r.report.aggregate_throughput_mbps(),
-                report_fingerprint: report_fingerprint(&r.report_json),
             })
             .collect(),
     }
@@ -503,6 +604,45 @@ mod tests {
         assert_eq!(a, report_fingerprint("{\"x\":1}"));
         assert_ne!(a, report_fingerprint("{\"x\":2}"));
         assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn timeout_runner_matches_untimed_results_and_records_failures() {
+        let entries: Vec<SuiteEntry> = builtin_suite(Scale::Small)
+            .into_iter()
+            .filter(|e| e.name.starts_with("mpiio"))
+            .collect();
+        assert_eq!(entries.len(), 2);
+        // A generous deadline changes nothing: same reports as the plain
+        // runner, just wrapped in Ok.
+        let timed = run_parallel_with_timeout(&entries, 2, Some(Duration::from_secs(600)));
+        let plain = run_parallel(&entries, 1);
+        for (t, p) in timed.iter().zip(&plain) {
+            let t = t.as_ref().expect("well under the deadline");
+            assert_eq!(t.name, p.name);
+            assert_eq!(t.report_json, p.report_json);
+        }
+        // A failed entry keeps its slot in the summary with the error
+        // recorded and every measurement zeroed.
+        let results: Vec<SuiteRunResult> = vec![
+            Err(FailedRun {
+                name: "hung_entry".into(),
+                error: "timed out after 1.0s wall-clock".into(),
+            }),
+            timed.into_iter().nth(1).expect("two results"),
+        ];
+        let summary = summarize_results(&results, 2, 1.0);
+        assert_eq!(summary.runs.len(), 2);
+        let failed = &summary.runs[0];
+        assert_eq!(failed.name, "hung_entry");
+        assert_eq!(failed.error.as_deref(), Some("timed out after 1.0s wall-clock"));
+        assert_eq!(failed.sim_events, 0);
+        assert!(failed.report_fingerprint.is_empty());
+        let ok = &summary.runs[1];
+        assert!(ok.error.is_none());
+        assert!(ok.sim_events > 0);
+        // Only completed runs contribute to the serial-wall sum.
+        assert!((summary.serial_wall_secs_sum - ok.wall_secs).abs() < 1e-12);
     }
 
     #[test]

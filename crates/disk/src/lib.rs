@@ -8,6 +8,7 @@
 //! measures at the disk level — seek-distance statistics, LBN access traces,
 //! the sequential-vs-random throughput gap — is produced by these types.
 
+pub mod ctxmap;
 pub mod disk;
 pub mod model;
 pub mod request;
@@ -16,7 +17,7 @@ pub mod trace;
 
 pub use disk::{Disk, StartOutcome};
 pub use model::{bytes_to_sectors, DiskParams, Lbn, SECTOR_BYTES};
-pub use request::{DiskRequest, IoCtx, IoKind};
+pub use request::{DiskRequest, IoCtx, IoKind, MergedIds};
 pub use sched::{
     AnticipatoryConfig, AnticipatoryScheduler, CfqConfig, CfqScheduler, Decision, DeadlineConfig, DeadlineScheduler, NoopScheduler,
     ScanScheduler, Scheduler, SchedulerKind, SstfScheduler, DEFAULT_MAX_MERGE_SECTORS,

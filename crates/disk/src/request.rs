@@ -28,6 +28,94 @@ impl IoKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct IoCtx(pub u32);
 
+/// How many merged sub-request ids fit without touching the heap. Queue
+/// merging rarely coalesces more than a handful of requests (the sector
+/// cap bites first), so the common case is allocation-free.
+const MERGED_INLINE: usize = 4;
+
+/// The ids of every sub-request coalesced into one dispatch. Semantically
+/// a `Vec<u64>`, but the first [`MERGED_INLINE`] ids live inline in the
+/// request itself: `DiskRequest::new` used to `vec![id]` — one heap
+/// allocation per request on the busiest path in the simulator — whereas
+/// an inline `MergedIds` costs nothing until a merge chain grows past the
+/// inline capacity.
+#[derive(Debug, Clone)]
+pub enum MergedIds {
+    /// Up to [`MERGED_INLINE`] ids stored in place; `len` counts the
+    /// occupied prefix of `buf`.
+    Inline { len: u8, buf: [u64; MERGED_INLINE] },
+    /// Overflow representation once a merge chain outgrows the buffer.
+    Heap(Vec<u64>),
+}
+
+impl MergedIds {
+    /// A one-element list (every request starts out owning only itself).
+    #[inline]
+    pub fn one(id: u64) -> Self {
+        let mut buf = [0u64; MERGED_INLINE];
+        buf[0] = id;
+        MergedIds::Inline { len: 1, buf }
+    }
+
+    /// The ids as a slice, in merge order.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            MergedIds::Inline { len, buf } => &buf[..*len as usize],
+            MergedIds::Heap(v) => v,
+        }
+    }
+
+    /// Append one id, spilling to the heap when the inline buffer fills.
+    pub fn push(&mut self, id: u64) {
+        match self {
+            MergedIds::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < MERGED_INLINE {
+                    buf[n] = id;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(MERGED_INLINE * 2);
+                    v.extend_from_slice(buf);
+                    v.push(id);
+                    *self = MergedIds::Heap(v);
+                }
+            }
+            MergedIds::Heap(v) => v.push(id),
+        }
+    }
+
+    /// Append every id of `other`, preserving order.
+    pub fn absorb(&mut self, other: MergedIds) {
+        for &id in other.as_slice() {
+            self.push(id);
+        }
+    }
+}
+
+// Equality is over the id sequence, not the representation: an inline
+// list and a heap list holding the same ids are the same value.
+impl PartialEq for MergedIds {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for MergedIds {}
+
+impl PartialEq<Vec<u64>> for MergedIds {
+    fn eq(&self, other: &Vec<u64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a MergedIds {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A request queued at (or being serviced by) a disk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiskRequest {
@@ -45,7 +133,7 @@ pub struct DiskRequest {
     pub arrival: SimTime,
     /// Ids of requests coalesced into this one by queue merging (always
     /// contains `id` itself). The server completes all of them at once.
-    pub merged: Vec<u64>,
+    pub merged: MergedIds,
 }
 
 impl DiskRequest {
@@ -59,7 +147,7 @@ impl DiskRequest {
             lbn,
             sectors,
             arrival,
-            merged: vec![id],
+            merged: MergedIds::one(id),
         }
     }
 
@@ -70,7 +158,7 @@ impl DiskRequest {
     /// it at start time.
     #[inline]
     pub fn merged_ids(&self) -> &[u64] {
-        &self.merged
+        self.merged.as_slice()
     }
 
     /// One-past-the-end sector. Saturates: an extent reaching past
@@ -102,7 +190,7 @@ impl DiskRequest {
     pub fn back_merge(&mut self, next: DiskRequest) {
         debug_assert!(self.can_back_merge(&next, u64::MAX));
         self.sectors = self.sectors.saturating_add(next.sectors);
-        self.merged.extend(next.merged);
+        self.merged.absorb(next.merged);
     }
 }
 
@@ -144,5 +232,28 @@ mod tests {
         assert_eq!(a.sectors, 24);
         assert_eq!(a.merged, vec![1, 2, 3]);
         assert_eq!(a.end(), 24);
+    }
+
+    #[test]
+    fn merged_ids_spill_past_inline_capacity() {
+        let mut m = MergedIds::one(0);
+        for id in 1..10u64 {
+            m.push(id);
+        }
+        assert_eq!(m.as_slice(), (0..10).collect::<Vec<_>>().as_slice());
+        assert!(matches!(m, MergedIds::Heap(_)));
+        // Equality crosses representations.
+        let mut short = MergedIds::one(0);
+        short.push(1);
+        assert_eq!(short, MergedIds::Heap(vec![0, 1]));
+        // absorb preserves order across the boundary.
+        let mut a = MergedIds::one(100);
+        a.absorb(m);
+        assert_eq!(
+            a.as_slice().first().copied(),
+            Some(100),
+            "own id stays first"
+        );
+        assert_eq!(a.as_slice().len(), 11);
     }
 }

@@ -9,10 +9,10 @@
 //! context-aware mechanism.
 
 use super::{Decision, Scheduler, DEFAULT_MAX_MERGE_SECTORS};
+use crate::ctxmap::CtxMap;
 use crate::model::Lbn;
 use crate::request::{DiskRequest, IoCtx, IoKind};
 use dualpar_sim::{SimDuration, SimTime};
-use dualpar_sim::FxHashMap;
 
 /// Anticipatory-scheduler tunables.
 #[derive(Debug, Clone)]
@@ -43,7 +43,9 @@ pub struct AnticipatoryScheduler {
     /// Armed anticipation deadline.
     antic_until: Option<SimTime>,
     /// Per-context verdict: did the last armed anticipation pay off?
-    antic_ok: FxHashMap<IoCtx, bool>,
+    /// Dense-indexed by context id ([`CtxMap`]) — the decide hot path
+    /// reads this on every empty-queue check.
+    antic_ok: CtxMap<bool>,
 }
 
 impl AnticipatoryScheduler {
@@ -54,7 +56,7 @@ impl AnticipatoryScheduler {
             sorted: Vec::new(),
             last_ctx: None,
             antic_until: None,
-            antic_ok: FxHashMap::default(),
+            antic_ok: CtxMap::new(),
         }
     }
 
@@ -82,7 +84,7 @@ impl Scheduler for AnticipatoryScheduler {
         }
         // An arrival from the anticipated context rewards the wait.
         if self.antic_until.is_some() && self.last_ctx == Some(req.ctx) {
-            self.antic_ok.insert(req.ctx, true);
+            self.antic_ok.set(req.ctx, true);
             self.antic_until = None;
         }
         let pos = self
@@ -97,7 +99,7 @@ impl Scheduler for AnticipatoryScheduler {
         if let Some(ctx) = self.last_ctx {
             let has_from_ctx = self.sorted.iter().any(|r| r.ctx == ctx);
             if !has_from_ctx {
-                let ok = self.antic_ok.get(&ctx).copied().unwrap_or(true);
+                let ok = self.antic_ok.get(ctx).copied().unwrap_or(true);
                 match self.antic_until {
                     None if ok => {
                         let until = now.saturating_add(self.cfg.antic_window);
@@ -107,7 +109,7 @@ impl Scheduler for AnticipatoryScheduler {
                     Some(until) if now < until => return Decision::IdleUntil(until),
                     Some(_) => {
                         // Expired unrewarded.
-                        self.antic_ok.insert(ctx, false);
+                        self.antic_ok.set(ctx, false);
                         self.antic_until = None;
                         self.last_ctx = None;
                     }

@@ -19,10 +19,10 @@
 //!    streams, wasted time for interleaved ones.
 
 use super::{Decision, Scheduler, DEFAULT_MAX_MERGE_SECTORS};
+use crate::ctxmap::CtxMap;
 use crate::model::Lbn;
 use crate::request::{DiskRequest, IoCtx};
 use dualpar_sim::{SimDuration, SimTime};
-use dualpar_sim::FxHashMap;
 use std::collections::VecDeque;
 
 /// CFQ tunables (Linux defaults).
@@ -113,7 +113,12 @@ impl CtxQueue {
 #[derive(Debug)]
 pub struct CfqScheduler {
     cfg: CfqConfig,
-    queues: FxHashMap<IoCtx, CtxQueue>,
+    /// Per-context queues, dense-indexed by context id ([`CtxMap`]): the
+    /// enqueue/decide hot paths do an array load instead of a hash probe,
+    /// and the merge-absorption scans iterate in context-id order — a
+    /// deterministic-by-construction order, unlike the retired hash map's
+    /// table order.
+    queues: CtxMap<CtxQueue>,
     /// Round-robin order of contexts that have (or recently had) requests.
     rr: VecDeque<IoCtx>,
     /// The context currently holding the slice.
@@ -129,7 +134,7 @@ impl CfqScheduler {
     pub fn new(cfg: CfqConfig) -> Self {
         CfqScheduler {
             cfg,
-            queues: FxHashMap::default(),
+            queues: CtxMap::new(),
             rr: VecDeque::new(),
             active: None,
             slice_end: SimTime::ZERO,
@@ -139,7 +144,7 @@ impl CfqScheduler {
     }
 
     fn queue_len(&self, ctx: IoCtx) -> usize {
-        self.queues.get(&ctx).map_or(0, CtxQueue::len)
+        self.queues.get(ctx).map_or(0, CtxQueue::len)
     }
 
     /// Select the next context with queued requests, starting a new slice.
@@ -168,7 +173,7 @@ impl Scheduler for CfqScheduler {
         let ctx = req.ctx;
         let before;
         {
-            let q = self.queues.entry(ctx).or_default();
+            let q = self.queues.get_or_insert_default(ctx);
             before = q.len();
             q.insert(req, self.cfg.max_merge_sectors);
             let after = q.len();
@@ -185,7 +190,7 @@ impl Scheduler for CfqScheduler {
         // stays enabled for this context.
         if self.active == Some(ctx) {
             if self.idle_until.is_some() {
-                if let Some(q) = self.queues.get_mut(&ctx) {
+                if let Some(q) = self.queues.get_mut(ctx) {
                     q.idle_ok = true;
                 }
             }
@@ -199,7 +204,7 @@ impl Scheduler for CfqScheduler {
         // of `slice_idle`.
         if let Some(ctx) = self.active {
             if now < self.slice_end {
-                if let Some(q) = self.queues.get_mut(&ctx) {
+                if let Some(q) = self.queues.get_mut(ctx) {
                     if let Some(r) = q.pop_elevator(head) {
                         self.total_queued -= 1;
                         self.idle_until = None;
@@ -208,7 +213,7 @@ impl Scheduler for CfqScheduler {
                 }
                 // Active context has nothing queued: anticipate briefly,
                 // unless anticipation last failed for this context.
-                let idle_ok = self.queues.get(&ctx).is_none_or(|q| q.idle_ok);
+                let idle_ok = self.queues.get(ctx).is_none_or(|q| q.idle_ok);
                 match self.idle_until {
                     None if idle_ok => {
                         let until = now.saturating_add(self.cfg.slice_idle).min_of(self.slice_end);
@@ -224,7 +229,7 @@ impl Scheduler for CfqScheduler {
                         // The idle window expired unrewarded: disable
                         // anticipation for this context until it earns it
                         // back.
-                        if let Some(q) = self.queues.get_mut(&ctx) {
+                        if let Some(q) = self.queues.get_mut(ctx) {
                             q.idle_ok = false;
                         }
                     }
@@ -240,7 +245,7 @@ impl Scheduler for CfqScheduler {
         // Slice expired or idle window elapsed: move to the next context.
         match self.switch_context(now) {
             Some(ctx) => {
-                let q = self.queues.get_mut(&ctx).expect("selected ctx has queue");
+                let q = self.queues.get_mut(ctx).expect("selected ctx has queue");
                 let r = q.pop_elevator(head).expect("selected ctx nonempty");
                 self.total_queued -= 1;
                 Decision::Dispatch(r)
@@ -250,6 +255,10 @@ impl Scheduler for CfqScheduler {
     }
 
     fn absorb_contiguous(&mut self, end: Lbn, kind: crate::request::IoKind) -> Option<DiskRequest> {
+        // Context-id iteration order: when several contexts hold a
+        // mergeable request at the same LBN, the lowest context id wins —
+        // a documented rule, where the hash map's table order was
+        // arbitrary (though seed-stable).
         for q in self.queues.values_mut() {
             let idx = q.sorted.partition_point(|r| r.lbn < end);
             if let Some(r) = q.sorted.get(idx) {

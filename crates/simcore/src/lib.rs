@@ -4,7 +4,8 @@
 //! reproduction. Provides:
 //!
 //! * [`time`] — integer-nanosecond simulated clock types;
-//! * [`event`] — a stable-FIFO future-event list with cancellation;
+//! * [`fel`] — a stable-FIFO future-event list with O(1) generational
+//!   cancellation (hierarchical timing wheel over a slab);
 //! * [`rng`] — labelled deterministic random streams;
 //! * [`stats`] — online statistics, time series, exact percentiles;
 //! * [`resource`] — FIFO resources and latency/bandwidth links;
@@ -16,7 +17,9 @@
 //! hard guarantee (same seed ⇒ bit-identical run), which the property tests
 //! in `tests/` enforce.
 
-pub mod event;
+#[cfg(test)]
+pub(crate) mod event;
+pub mod fel;
 pub mod hash;
 pub mod pool;
 pub mod resource;
@@ -52,9 +55,9 @@ macro_rules! strict_assert_eq {
     };
 }
 
-pub use event::{EventId, EventQueue};
+pub use fel::{EventId, EventQueue};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
-pub use pool::{parallel_map, parallel_map_prioritized};
+pub use pool::{parallel_map, parallel_map_prioritized, run_with_deadline, DeadlineError};
 pub use resource::{FifoResource, Link};
 pub use rng::DetRng;
 pub use slab::{Slab, SlabKey};

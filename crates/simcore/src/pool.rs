@@ -13,6 +13,47 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Duration;
+
+/// Why [`run_with_deadline`] failed to produce a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineError {
+    /// The closure was still running when the deadline expired. The worker
+    /// thread is abandoned (detached), not killed — the caller must treat
+    /// any state it shares with the closure as lost.
+    TimedOut,
+    /// The closure panicked before producing a result.
+    Panicked,
+}
+
+/// Run `f` on a detached thread, waiting at most `timeout` for its result.
+///
+/// This is the pool's hung-work containment primitive: a simulation stuck
+/// in an infinite loop cannot be interrupted cooperatively, so the only
+/// portable containment is to run it on its own thread and abandon that
+/// thread on expiry. The abandoned thread keeps running (and keeps its
+/// memory) until the process exits — acceptable for a batch runner that
+/// reports the failure and moves on, not for anything long-lived.
+///
+/// Timing uses [`mpsc::Receiver::recv_timeout`], so no wall-clock reads
+/// happen here (the workspace lint bans `Instant::now` outside allowed
+/// call sites).
+pub fn run_with_deadline<R, F>(f: F, timeout: Duration) -> Result<R, DeadlineError>
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        // A send failure means the caller already gave up; nothing to do.
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(timeout).map_err(|e| match e {
+        mpsc::RecvTimeoutError::Timeout => DeadlineError::TimedOut,
+        // The sender dropped without sending: the closure panicked.
+        mpsc::RecvTimeoutError::Disconnected => DeadlineError::Panicked,
+    })
+}
 
 /// Order-preserving parallel map over `items` with up to `jobs` worker
 /// threads. `f(index, item)` runs exactly once per item; results come
@@ -140,5 +181,21 @@ mod tests {
     fn empty_input_is_fine() {
         let items: Vec<u64> = Vec::new();
         assert!(parallel_map(&items, 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn deadline_returns_fast_results_and_flags_hangs() {
+        let ok = run_with_deadline(|| 42u32, Duration::from_secs(10));
+        assert_eq!(ok, Ok(42));
+        // A worker that sleeps past the deadline is reported as timed out
+        // (and abandoned; it exits on its own shortly after).
+        let hung = run_with_deadline(
+            || std::thread::sleep(Duration::from_millis(500)),
+            Duration::from_millis(20),
+        );
+        assert_eq!(hung, Err(DeadlineError::TimedOut));
+        let boom: Result<u32, _> =
+            run_with_deadline(|| panic!("boom"), Duration::from_secs(10));
+        assert_eq!(boom, Err(DeadlineError::Panicked));
     }
 }

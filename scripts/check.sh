@@ -96,12 +96,24 @@ cargo bench --offline -p dualpar-bench --bench hot_path -- --test
 
 # Suite smoke: the parallel runner over the small figure-set suite, with
 # the serial-twin determinism check (exits non-zero on any byte-level
-# report divergence between --jobs N and serial). Timed so engine-speed
-# regressions show up in the log (see docs/BENCH.md).
+# report divergence between --jobs N and serial), a per-run wall-clock
+# timeout so a hung simulation fails its entry instead of wedging the
+# gate, and engine-speed numbers timed into the log (see docs/BENCH.md).
 suite_out="$(mktemp -d /tmp/dualpar-suite.XXXXXX)"
 trap 'rm -f "$golden"; rm -rf "$prof" "$dsl" "$suite_out"' EXIT
 time cargo run --release --offline -q -p dualpar-bench --bin dualpar -- \
-    suite --jobs "$(nproc)" --scale small --verify-serial \
+    suite --jobs "$(nproc)" --scale small --verify-serial --timeout-secs 300 \
     --out "$suite_out/BENCH_suite.json"
+
+# Suite gate: diff the artifact the smoke run just produced against the
+# committed BENCH_suite.json. Per-run sim_events and report fingerprints
+# must match exactly (they are simulation-determined, machine-independent);
+# the events-per-second delta is reported for the log but never gated —
+# wall clocks are this machine's business. Regenerate the committed
+# artifact on intentional simulation changes:
+#   cargo run --release -p dualpar-bench --bin dualpar -- \
+#       suite --jobs 4 --out bench_results/BENCH_suite.json
+./target/release/dualpar-audit trace --baseline \
+    bench_results/BENCH_suite.json "$suite_out/BENCH_suite.json"
 
 echo "check.sh: all green"
