@@ -102,6 +102,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "thread::current() — thread identity is nondeterministic across runs",
     },
     RuleInfo {
+        name: "raw-thread",
+        severity: Severity::Deny,
+        scope: Scope::Workspace,
+        summary: "thread::spawn/scope or raw mpsc channel — concurrency lives in simcore::pool and simcore::shard only",
+    },
+    RuleInfo {
         name: "env-read",
         severity: Severity::Deny,
         scope: Scope::Workspace,

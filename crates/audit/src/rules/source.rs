@@ -196,6 +196,24 @@ pub fn scan_tokens(src: &str, toks: &[Token], mask: &[u8], hot: bool) -> Vec<(u3
                     "thread" if code.is_path_sep(i + 1) && code.is_ident(i + 3, "current") => {
                         hit(line, "thread-id", &mut hits);
                     }
+                    // Raw concurrency construction: worker threads and the
+                    // channels between them live in simcore::pool and
+                    // simcore::shard (allow-listed), so every other crate
+                    // inherits their determinism arguments instead of
+                    // hand-rolling its own.
+                    "thread"
+                        if code.is_path_sep(i + 1)
+                            && (code.is_ident(i + 3, "spawn") || code.is_ident(i + 3, "scope")) =>
+                    {
+                        hit(line, "raw-thread", &mut hits);
+                    }
+                    "mpsc"
+                        if code.is_path_sep(i + 1)
+                            && (code.is_ident(i + 3, "channel")
+                                || code.is_ident(i + 3, "sync_channel")) =>
+                    {
+                        hit(line, "raw-thread", &mut hits);
+                    }
                     "env"
                         if code.is_path_sep(i + 1)
                             && (code.is_ident(i + 3, "var")
@@ -355,9 +373,34 @@ mod tests {
             scan("fn f() { let v = std::env::var(\"HOME\"); use_(v); }\n", false),
             vec!["env-read"]
         );
-        // `Instant::elapsed`, `thread::spawn`, `env::args` style calls that
-        // are not on the ban list pass.
-        assert!(scan("fn f() { std::thread::spawn(|| {}); }\n", false).is_empty());
+        // `Instant::elapsed`, `env::args` style calls that are not on the
+        // ban list pass.
+        assert!(scan("fn f() { let t = t0.elapsed(); use_(t); }\n", false).is_empty());
+        assert!(scan("fn f() { let a = std::env::args(); use_(a); }\n", false).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_construction_is_flagged() {
+        assert_eq!(
+            scan("fn f() { std::thread::spawn(|| {}); }\n", false),
+            vec!["raw-thread"]
+        );
+        assert_eq!(
+            scan("fn f() { std::thread::scope(|s| {}); }\n", false),
+            vec!["raw-thread"]
+        );
+        assert_eq!(
+            scan("fn f() { let (tx, rx) = mpsc::channel::<u64>(); use_(tx, rx); }\n", false),
+            vec!["raw-thread"]
+        );
+        assert_eq!(
+            scan("fn f() { let p = std::sync::mpsc::sync_channel(4); use_(p); }\n", false),
+            vec!["raw-thread"]
+        );
+        // Using channel halves or joining threads is fine — only
+        // *construction* is fenced into the two runtime modules.
+        assert!(scan("fn f(rx: &mpsc::Receiver<u64>) { rx.recv().ok(); }\n", false).is_empty());
+        assert!(scan("fn f() { std::thread::sleep(d); }\n", false).is_empty());
     }
 
     #[test]

@@ -72,9 +72,18 @@ pub struct SuiteRun {
 
 /// Execute one entry start-to-finish on the calling thread.
 pub fn run_entry(entry: &SuiteEntry) -> SuiteRun {
+    run_entry_sharded(entry, 1)
+}
+
+/// [`run_entry`] on the sharded engine: server event windows execute on a
+/// pool of `shards` worker threads inside the run. The report and trace
+/// are byte-identical at every `shards` level — the partition into logical
+/// shards is fixed by the cluster topology, `shards` only picks where each
+/// window executes (see `docs/PERF.md`).
+pub fn run_entry_sharded(entry: &SuiteEntry, shards: usize) -> SuiteRun {
     let t0 = Instant::now();
     let mut cluster = build_cluster(&entry.spec);
-    let report = cluster.run();
+    let report = cluster.run_sharded(shards);
     let wall_secs = t0.elapsed().as_secs_f64();
     let trace_jsonl = (entry.spec.cluster.telemetry.level == TelemetryLevel::Trace).then(|| {
         let mut buf = Vec::new();
@@ -137,15 +146,26 @@ pub fn run_parallel_with_timeout(
     jobs: usize,
     timeout: Option<Duration>,
 ) -> Vec<SuiteRunResult> {
+    run_suite_entries(entries, jobs, timeout, 1, 0)
+}
+
+/// One pooled pass over the entries: the building block under
+/// [`run_suite_entries`]' retry loop.
+fn run_pass(
+    entries: &[SuiteEntry],
+    jobs: usize,
+    timeout: Option<Duration>,
+    shards: usize,
+) -> Vec<SuiteRunResult> {
     let costs: Vec<u64> = entries.iter().map(|e| expected_cost(&e.spec)).collect();
     parallel_map_prioritized(entries, jobs, &costs, |_, e| {
         let Some(limit) = timeout else {
-            return Ok(run_entry(e));
+            return Ok(run_entry_sharded(e, shards));
         };
         // The deadline thread outlives the borrow of `e`, so it gets its
         // own copy of the entry.
         let owned = e.clone();
-        match run_with_deadline(move || run_entry(&owned), limit) {
+        match run_with_deadline(move || run_entry_sharded(&owned, shards), limit) {
             Ok(run) => Ok(run),
             Err(DeadlineError::TimedOut) => Err(FailedRun {
                 name: e.name.clone(),
@@ -157,6 +177,47 @@ pub fn run_parallel_with_timeout(
             }),
         }
     })
+}
+
+/// The full suite runner behind `dualpar suite`: a pooled pass plus up to
+/// `retries` follow-up passes over whichever entries failed (timed out or
+/// panicked). Retries change nothing about a run's simulation — a retried
+/// entry that completes produces the same byte-identical report it would
+/// have produced the first time — they only give transiently overloaded
+/// machines another chance before the suite is declared failed. An entry
+/// that still fails after every retry keeps its slot, with the attempt
+/// count recorded in the error.
+pub fn run_suite_entries(
+    entries: &[SuiteEntry],
+    jobs: usize,
+    timeout: Option<Duration>,
+    shards: usize,
+    retries: u32,
+) -> Vec<SuiteRunResult> {
+    let mut results = run_pass(entries, jobs, timeout, shards);
+    for _ in 0..retries {
+        let failed: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_err())
+            .map(|(i, _)| i)
+            .collect();
+        if failed.is_empty() {
+            break;
+        }
+        let again: Vec<SuiteEntry> = failed.iter().map(|&i| entries[i].clone()).collect();
+        for (slot, outcome) in failed.into_iter().zip(run_pass(&again, jobs, timeout, shards)) {
+            results[slot] = outcome;
+        }
+    }
+    if retries > 0 {
+        for r in &mut results {
+            if let Err(f) = r {
+                f.error = format!("{} (after {} attempts)", f.error, retries + 1);
+            }
+        }
+    }
+    results
 }
 
 /// Keep the entries whose name matches `filter`, in their original order:
@@ -263,6 +324,9 @@ pub struct SuiteSummary {
     /// Format tag for downstream tooling.
     pub schema: &'static str,
     pub jobs: usize,
+    /// Shard workers each run executed with (`--shards`). Reports are
+    /// byte-identical at every level; only wall-clock figures respond.
+    pub shards: usize,
     /// Wall-clock for the whole suite, fan-out included.
     pub total_wall_secs: f64,
     /// Sum of the individual run walls. With `--verify-serial` these come
@@ -284,6 +348,7 @@ pub fn summarize(runs: &[SuiteRun], jobs: usize, total_wall_secs: f64) -> SuiteS
     SuiteSummary {
         schema: SUITE_SCHEMA,
         jobs,
+        shards: 1,
         total_wall_secs,
         serial_wall_secs_sum,
         speedup_estimate: if total_wall_secs > 0.0 {
@@ -330,6 +395,7 @@ pub fn summarize_results(
     SuiteSummary {
         schema: SUITE_SCHEMA,
         jobs,
+        shards: 1,
         total_wall_secs,
         serial_wall_secs_sum,
         speedup_estimate: if total_wall_secs > 0.0 {

@@ -3,33 +3,41 @@
 //! barriers, collective I/O) and `datadriven.rs` (DualPar phases and
 //! Strategy-2 prefetching).
 
-use crate::config::{ClusterConfig, CtxMode, IoStrategy, ProgramSpec, ServerWriteMode};
+use crate::config::{ClusterConfig, CtxMode, IoStrategy, ProgramSpec};
 use crate::metrics::{ModeEvent, ProgramReport, RunReport};
+use crate::sharded::{CrossShardMsg, SEv, ServerShard, SubReq};
 use dualpar_cache::{CacheConfig, GlobalCache, NodeId, OwnerId};
 use dualpar_core::{DualParConfig, Emc, ExecMode, IoClock, ProgramId, ReqDistTracker};
-use dualpar_disk::{Disk, DiskRequest, IoCtx, IoKind, Lbn, StartOutcome};
+use dualpar_disk::{Disk, IoCtx, IoKind};
 use dualpar_mpiio::{CoalescedIo, ProcessScript};
 use dualpar_pfs::{FileId, FileRegion, Pvfs};
-use dualpar_sim::{EventId, EventQueue, Link, SimDuration, SimTime, Slab, SlabKey, TimeSeries};
-use dualpar_telemetry::{SpanId, SpanProfile, Telemetry};
+use dualpar_sim::{
+    merge_batches, EventId, EventQueue, Link, ShardPool, SimDuration, SimTime, Slab, SlabKey,
+    TimeSeries, WindowCell,
+};
+use dualpar_telemetry::{SpanId, SpanProfile, Telemetry, TelemetryConfig};
 use dualpar_sim::{FxHashMap, FxHashSet};
 
 /// Safety valve: a single experiment should never need more events.
 const MAX_EVENTS: u64 = 2_000_000_000;
 
-/// Events driving the simulation.
+/// Below this many events in a round, the next round runs its server
+/// windows inline on the coordinator: dispatching near-empty windows to
+/// worker threads costs more in barrier traffic than it saves. The
+/// threshold reads only simulation state, so the inline/parallel decision
+/// — which affects *where* windows run, never *what* they compute — is
+/// itself deterministic.
+const SMALL_ROUND_EVENTS: u64 = 64;
+
+/// Events driving the client shard (programs, processes, the cache, EMC).
+/// Everything server-side lives in [`crate::sharded::SEv`] on the per-data-
+/// server shards.
 #[derive(Debug, Clone)]
 pub(crate) enum Ev {
     /// A program begins.
     Start(usize),
     /// A process is ready to advance its script.
     ProcReady(usize),
-    /// A request message arrived at a data server.
-    ServerRecv { server: u32, sub: SubReq },
-    /// Poke a disk (idle-anticipation timer expired).
-    DiskKick(u32),
-    /// A disk finished its in-flight request.
-    DiskDone(u32),
     /// A response was delivered back; one sub-request of a group is done.
     SubDone { group: SlabKey },
     /// A ghost pre-execution finished its walk.
@@ -38,18 +46,6 @@ pub(crate) enum Ev {
     PhaseTimeout { prog: usize, seq: u64 },
     /// EMC sampling slot boundary.
     EmcTick,
-    /// A data server's write-back daemon flushes its dirty buffer.
-    ServerFlush(u32),
-}
-
-/// One disk-bound sub-request (a resolved LBN run on one server).
-#[derive(Debug, Clone)]
-pub(crate) struct SubReq {
-    pub id: u64,
-    pub lbn: Lbn,
-    pub sectors: u64,
-    pub kind: IoKind,
-    pub ctx: IoCtx,
 }
 
 /// Why a completion group exists — dispatched when its last sub-request
@@ -101,23 +97,6 @@ pub(crate) struct Group {
     pub purpose: Purpose,
     /// When the group was opened (for completion-latency histograms).
     pub opened: SimTime,
-}
-
-/// Side-table record for one in-flight sub-request, held in a slab keyed
-/// by the sub-request id itself (the id *is* the raw slab key, so server
-/// completion resolves it with one indexed load instead of a hash probe).
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct ReqInfo {
-    /// The completion group this sub-request belongs to.
-    pub group: SlabKey,
-    /// Response payload size (data for reads, zero for writes).
-    pub resp_bytes: u64,
-    /// The sub-request's `req.life` span, keyed by the raw sub id
-    /// (INVALID when spans are off).
-    pub life: SpanId,
-    /// The currently-open lifecycle stage child of `life`
-    /// (`req.issue` → `server.queue` → `disk.service`).
-    pub stage: SpanId,
 }
 
 /// Process execution state.
@@ -264,26 +243,33 @@ impl Program {
     }
 }
 
-/// The assembled cluster simulator.
+/// The assembled cluster simulator: the client shard (programs, processes,
+/// cache, EMC) plus one [`ServerShard`] cell per data server. The cells
+/// are `Option`s only so the conservative-parallel runtime can move them
+/// to worker threads for a window and back; between rounds every cell is
+/// home (`Some`).
 pub struct Cluster {
     pub(crate) cfg: ClusterConfig,
     pub(crate) queue: EventQueue<Ev>,
     pub(crate) pvfs: Pvfs,
     pub(crate) cache: GlobalCache,
     pub(crate) emc: Emc,
-    pub(crate) disks: Vec<Disk>,
-    pub(crate) server_links: Vec<Link>,
+    pub(crate) servers: Vec<Option<ServerShard>>,
     pub(crate) node_links: Vec<Link>,
     pub(crate) req_dist: Vec<ReqDistTracker>,
     pub(crate) procs: Vec<Proc>,
     pub(crate) programs: Vec<Program>,
     pub(crate) groups: Slab<Group>,
-    pub(crate) req_info: Slab<ReqInfo>, // sub id == raw slab key
+    /// Monotonic sub-request id counter (ids are globally unique per run).
+    pub(crate) next_sub_id: u64,
+    /// Outbound client→server requests of the current window, applied at
+    /// the barrier exchange.
+    pub(crate) outbox: Vec<(SimTime, CrossShardMsg)>,
+    /// The absolute time of the next scheduled `EmcTick`, which clips the
+    /// window horizon: the tick needs exclusive access to every shard, so
+    /// it runs in a serial section between rounds.
+    pub(crate) next_tick: Option<SimTime>,
     pub(crate) s2_inflight: FxHashMap<(u32, u64, u64), Vec<usize>>,
-    /// Per-server buffered (acknowledged, unflushed) write requests, used
-    /// in the WriteBack server mode.
-    pub(crate) server_dirty: Vec<Vec<DiskRequest>>,
-    pub(crate) server_flush_scheduled: Vec<bool>,
     pub(crate) rng: dualpar_sim::DetRng,
     pub(crate) timeline: TimeSeries,
     pub(crate) mode_events: Vec<ModeEvent>,
@@ -329,11 +315,8 @@ impl Cluster {
             node_capacity: u64::MAX,
         });
         let emc = Emc::new(cfg.dualpar.clone());
-        let disks = (0..cfg.num_data_servers)
-            .map(|_| Disk::new(cfg.disk.clone(), cfg.scheduler, cfg.trace_disks))
-            .collect();
-        let server_links = (0..cfg.num_data_servers)
-            .map(|_| Link::new(cfg.net_latency, cfg.net_bandwidth))
+        let servers = (0..cfg.num_data_servers)
+            .map(|id| Some(ServerShard::new(id, &cfg)))
             .collect();
         let node_links = (0..cfg.num_compute_nodes)
             .map(|_| Link::new(cfg.net_latency, cfg.net_bandwidth))
@@ -343,7 +326,6 @@ impl Cluster {
             .collect();
         let rng = dualpar_sim::DetRng::for_stream(cfg.seed, "cluster");
         let tele = Telemetry::new(&cfg.telemetry);
-        let nservers = cfg.num_data_servers as usize;
         let nnodes = cfg.num_compute_nodes as usize;
         Cluster {
             cfg,
@@ -352,17 +334,16 @@ impl Cluster {
             pvfs,
             cache,
             emc,
-            disks,
-            server_links,
+            servers,
             node_links,
             req_dist,
             procs: Vec::new(),
             programs: Vec::new(),
             groups: Slab::with_capacity(64),
-            req_info: Slab::with_capacity(256),
+            next_sub_id: 0,
+            outbox: Vec::new(),
+            next_tick: None,
             s2_inflight: FxHashMap::default(),
-            server_dirty: vec![Vec::new(); nservers],
-            server_flush_scheduled: vec![false; nservers],
             timeline: TimeSeries::new(SimDuration::from_secs(1)),
             mode_events: Vec::new(),
             emc_improvement: Vec::new(),
@@ -497,7 +478,10 @@ impl Cluster {
 
     /// Access a server's disk (for trace inspection after a run).
     pub fn disk(&self, server: u32) -> &Disk {
-        &self.disks[server as usize]
+        &self.servers[server as usize]
+            .as_ref()
+            .expect("server cell home between rounds")
+            .disk
     }
 
     /// The telemetry instance (counters, series, and the event trace).
@@ -658,35 +642,25 @@ impl Cluster {
                 IoKind::Read => (self.cfg.msg_header, bytes),
                 IoKind::Write => (self.cfg.msg_header + bytes, 0),
             };
-            // The sub-request id *is* the raw slab key of its side-table
-            // record, so completion resolves it with one indexed load.
-            let id = self
-                .req_info
-                .insert(ReqInfo {
-                    group,
-                    resp_bytes,
-                    life: SpanId::INVALID,
-                    stage: SpanId::INVALID,
-                })
-                .raw();
+            let id = self.next_sub_id;
+            self.next_sub_id += 1;
+            let (mut life, mut stage) = (SpanId::INVALID, SpanId::INVALID);
             if self.tele.spans_enabled() {
                 // `now` may be ahead of the queue clock (Strategy-2 pumps
                 // issue at jittered future instants); stamp with the clock.
                 let stamp = self.queue.now().as_secs_f64();
                 let at = now.as_secs_f64();
-                let life = self.tele.span_open(stamp, at, "req.life", SpanId::INVALID, id);
-                let stage = self.tele.span_open(stamp, at, "req.issue", life, id);
-                let info = self
-                    .req_info
-                    .get_mut(SlabKey::from_raw(id))
-                    .expect("just inserted");
-                info.life = life;
-                info.stage = stage;
+                life = self.tele.span_open(stamp, at, "req.life", SpanId::INVALID, id);
+                stage = self.tele.span_open(stamp, at, "req.issue", life, id);
             }
+            // The request crosses the shard boundary: it rides the outbox
+            // to the barrier exchange, which schedules the server's Recv.
+            // `deliver ≥ now + net_latency ≥ horizon`, so the receiving
+            // window is always a later one.
             let deliver = self.node_links[node as usize].send(now, req_msg);
-            self.queue.schedule(
+            self.outbox.push((
                 deliver,
-                Ev::ServerRecv {
+                CrossShardMsg::Request {
                     server: server.0,
                     sub: SubReq {
                         id,
@@ -694,9 +668,13 @@ impl Cluster {
                         sectors,
                         kind,
                         ctx,
+                        group,
+                        resp_bytes,
+                        life,
+                        stage,
                     },
                 },
-            );
+            ));
         }
         n
     }
@@ -710,60 +688,37 @@ impl Cluster {
         }
     }
 
-    pub(crate) fn kick_disk(&mut self, now: SimTime, server: u32) {
-        match self.disks[server as usize].try_start(now) {
-            StartOutcome::Started { finish } => {
-                if self.tele.spans_enabled() {
-                    // Queue merging is final once dispatch starts, so every
-                    // absorbed sub-request enters service here. Flush-daemon
-                    // replays carry ids already retired at ack time; the
-                    // slab generation check skips them (no live record).
-                    if let Some(req) = self.disks[server as usize].in_flight() {
-                        let stamp = now.as_secs_f64();
-                        for &id in req.merged_ids() {
-                            if let Some(info) = self.req_info.get_mut(SlabKey::from_raw(id)) {
-                                let (life, stage) = (info.life, info.stage);
-                                self.tele.span_close(stamp, stage, stamp);
-                                let svc =
-                                    self.tele.span_open(stamp, stamp, "disk.service", life, id);
-                                if let Some(info) =
-                                    self.req_info.get_mut(SlabKey::from_raw(id))
-                                {
-                                    info.stage = svc;
-                                }
-                            }
-                        }
-                    }
-                }
-                if self.tele.tracing() {
-                    if let Some(req) = self.disks[server as usize].in_flight() {
-                        let (id, lbn, sectors) = (req.id, req.lbn, req.sectors);
-                        let op = match req.kind {
-                            IoKind::Read => "read",
-                            IoKind::Write => "write",
-                        };
-                        self.tele.event(now.as_secs_f64(), "disk", "start", |e| {
-                            e.u64("server", server as u64)
-                                .u64("id", id)
-                                .u64("lbn", lbn)
-                                .u64("sectors", sectors)
-                                .str("op", op)
-                        });
-                    }
-                }
-                self.queue.schedule(finish, Ev::DiskDone(server));
-            }
-            StartOutcome::Idle { until } => {
-                self.queue.schedule(until, Ev::DiskKick(server));
-            }
-            StartOutcome::Quiescent => {}
-        }
-    }
-
     // ----- the event loop ----------------------------------------------
 
-    /// Run until every program has finished. Returns the report.
+    /// Run until every program has finished, executing every shard inline
+    /// on the calling thread. Identical output to [`Cluster::run_sharded`]
+    /// at any shard count. Returns the report.
     pub fn run(&mut self) -> RunReport {
+        self.run_sharded(1)
+    }
+
+    /// Run until every program has finished, executing data-server windows
+    /// on up to `shards` worker threads (clamped to the server count;
+    /// `shards <= 1` runs everything inline).
+    ///
+    /// The algorithm is conservative parallel discrete-event simulation
+    /// with the network's one-way latency as lookahead. Each round:
+    ///
+    /// 1. `global_next` = earliest pending event across every shard.
+    /// 2. If the next EMC tick is at `global_next`, run a serial section
+    ///    instead (the tick reads every disk's seek window).
+    /// 3. Otherwise the window horizon is
+    ///    `min(global_next + net_latency, next_tick)`; every shard
+    ///    executes its events with `t < horizon` — in parallel, since no
+    ///    message sent inside the window can be delivered before the
+    ///    horizon.
+    /// 4. At the barrier, outbound batches are exchanged in an order that
+    ///    is a pure function of simulation state.
+    ///
+    /// `shards` therefore only chooses where windows execute; the
+    /// simulation's output — report, trace, spans — is byte-identical at
+    /// every value.
+    pub fn run_sharded(&mut self, shards: usize) -> RunReport {
         if self.tele.tracing() {
             // Lead the trace with the thresholds this run decides against,
             // so the offline auditor validates EMC transitions with the
@@ -782,24 +737,180 @@ impl Cluster {
         }
         if self.emc_active {
             let slot = self.cfg.dualpar.sample_slot;
-            self.queue.schedule(SimTime::ZERO + slot, Ev::EmcTick);
+            let at = SimTime::ZERO + slot;
+            self.queue.schedule(at, Ev::EmcTick);
+            self.next_tick = Some(at);
         }
-        while let Some((now, ev)) = self.queue.pop() {
+        let lookahead = self.cfg.net_latency;
+        let nservers = self.servers.len();
+        let pool: Option<ShardPool<ServerShard>> =
+            (shards > 1 && nservers > 1).then(|| ShardPool::new(shards.min(nservers)));
+        let mut active: Vec<usize> = Vec::with_capacity(nservers);
+        // No history before the first round: let the pool prove itself.
+        let mut last_round_events = u64::MAX;
+        loop {
+            let mut global = self.queue.peek_time();
+            for s in self.servers.iter_mut() {
+                let t = s.as_mut().expect("cell home between rounds").queue.peek_time();
+                global = match (global, t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, None) => a,
+                    (None, b) => b,
+                };
+            }
+            let Some(gn) = global else { break };
+            if self.next_tick == Some(gn) {
+                // Serial section: the EMC tick is the earliest event, and
+                // it reads every server's disk, so every cell must be
+                // home. Drain the client events at exactly this instant
+                // (the tick, plus anything scheduled alongside it); server
+                // events at the same instant run in the following window —
+                // a fixed, shard-count-independent ordering rule.
+                while self.queue.peek_time() == Some(gn) {
+                    let (now, ev) = self.queue.pop().expect("peeked event present");
+                    self.events_processed += 1;
+                    self.handle(now, ev);
+                    if self.finished_programs == self.programs.len() && !self.programs.is_empty()
+                    {
+                        break;
+                    }
+                }
+                self.exchange();
+                if self.finished_programs == self.programs.len() && !self.programs.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            let mut horizon = gn.saturating_add(lookahead);
+            if let Some(tick) = self.next_tick {
+                horizon = horizon.min(tick);
+            }
+            active.clear();
+            for (i, s) in self.servers.iter_mut().enumerate() {
+                let peek = s.as_mut().expect("cell home between rounds").queue.peek_time();
+                if peek.is_some_and(|t| t < horizon) {
+                    active.push(i);
+                }
+            }
+            let server_events = if active.is_empty() {
+                // Client-only window. If every server queue is empty the
+                // servers are fully quiescent (disk work always has a
+                // DiskDone/DiskKick pending), so the client may run ahead
+                // of the lookahead — up to the next tick, or until it
+                // sends something a server must react to.
+                let all_empty = self
+                    .servers
+                    .iter_mut()
+                    .all(|s| s.as_mut().expect("cell home").queue.peek_time().is_none());
+                if all_empty {
+                    let h = self.next_tick.unwrap_or(SimTime::MAX);
+                    self.run_client_window(h, true);
+                } else {
+                    self.run_client_window(horizon, false);
+                }
+                0
+            } else if pool.is_some() && active.len() > 1 && last_round_events >= SMALL_ROUND_EVENTS
+            {
+                let pool = pool.as_ref().expect("checked");
+                let mut cells = std::mem::take(&mut self.servers);
+                let (sn, _) = pool.run_round(&mut cells, &active, horizon, || {
+                    self.run_client_window(horizon, false)
+                });
+                self.servers = cells;
+                sn
+            } else {
+                let mut sn = 0;
+                for &i in &active {
+                    sn += self.servers[i]
+                        .as_mut()
+                        .expect("cell home between rounds")
+                        .run_window(horizon);
+                }
+                self.run_client_window(horizon, false);
+                sn
+            };
+            self.events_processed += server_events;
+            assert!(
+                self.events_processed < MAX_EVENTS,
+                "event budget exceeded — runaway simulation"
+            );
+            last_round_events = server_events;
+            self.exchange();
+            if self.finished_programs == self.programs.len() && !self.programs.is_empty() {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// Execute the client shard's events with `t < horizon`. Stops early
+    /// once every program has finished, or — in the extended (`stop_on_send`)
+    /// window used while the servers are quiescent — as soon as an event
+    /// queues an outbound request, which must reach its server before the
+    /// client may run past `deliver` time.
+    fn run_client_window(&mut self, horizon: SimTime, stop_on_send: bool) -> u64 {
+        let mut n = 0u64;
+        while self.queue.peek_time().is_some_and(|t| t < horizon) {
+            let (now, ev) = self.queue.pop().expect("peeked event present");
             self.events_processed += 1;
             assert!(
                 self.events_processed < MAX_EVENTS,
                 "event budget exceeded — runaway simulation"
             );
             self.handle(now, ev);
-            if self.finished_programs == self.programs.len() && !self.emc_active {
+            n += 1;
+            if self.finished_programs == self.programs.len() && !self.programs.is_empty() {
                 break;
             }
-            if self.finished_programs == self.programs.len() {
-                // Only EMC ticks remain; stop.
+            if stop_on_send && !self.outbox.is_empty() {
                 break;
             }
         }
-        self.report()
+        n
+    }
+
+    /// The window barrier's message exchange. Applies the client's
+    /// outbound requests to the server queues in issue order, then merges
+    /// every server's ack batch into the client queue ordered by
+    /// `(deliver time, server)` — with ties inside one server kept in send
+    /// order. Both orders are pure functions of simulation state, so
+    /// delivery (and therefore FIFO pop order for same-time events) is
+    /// identical at every shard/thread count.
+    pub(crate) fn exchange(&mut self) {
+        for (deliver, msg) in self.outbox.drain(..) {
+            match msg {
+                CrossShardMsg::Request { server, sub } => {
+                    self.servers[server as usize]
+                        .as_mut()
+                        .expect("cell home at exchange")
+                        .queue
+                        .schedule(deliver, SEv::Recv(sub));
+                }
+                CrossShardMsg::Ack { .. } => unreachable!("client shard never emits acks"),
+            }
+        }
+        if self
+            .servers
+            .iter()
+            .all(|s| s.as_ref().expect("cell home").outbox.is_empty())
+        {
+            return;
+        }
+        let batches: Vec<Vec<(SimTime, CrossShardMsg)>> = self
+            .servers
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.as_mut().expect("cell home").outbox))
+            .collect();
+        for (t, _src, msg) in merge_batches(batches) {
+            match msg {
+                CrossShardMsg::Ack { group } => {
+                    self.queue.schedule(t, Ev::SubDone { group });
+                }
+                CrossShardMsg::Request { .. } => {
+                    unreachable!("server shards never emit requests")
+                }
+            }
+        }
     }
 
     /// Static counter name for an event kind (dispatch accounting).
@@ -807,14 +918,10 @@ impl Cluster {
         match ev {
             Ev::Start(_) => "engine.ev.start",
             Ev::ProcReady(_) => "engine.ev.proc_ready",
-            Ev::ServerRecv { .. } => "engine.ev.server_recv",
-            Ev::DiskKick(_) => "engine.ev.disk_kick",
-            Ev::DiskDone(_) => "engine.ev.disk_done",
             Ev::SubDone { .. } => "engine.ev.sub_done",
             Ev::GhostDone { .. } => "engine.ev.ghost_done",
             Ev::PhaseTimeout { .. } => "engine.ev.phase_timeout",
             Ev::EmcTick => "engine.ev.emc_tick",
-            Ev::ServerFlush(_) => "engine.ev.server_flush",
         }
     }
 
@@ -832,111 +939,6 @@ impl Cluster {
         match ev {
             Ev::Start(prog) => self.on_start(now, prog),
             Ev::ProcReady(p) => self.advance(now, p),
-            Ev::ServerRecv { server, sub } => {
-                let req = DiskRequest::new(sub.id, sub.ctx, sub.kind, sub.lbn, sub.sectors, now);
-                let buffer_write = sub.kind == IoKind::Write
-                    && self.cfg.server_write_mode == ServerWriteMode::WriteBack;
-                if buffer_write {
-                    // Acknowledge immediately; the flush daemon owns the
-                    // disk write from here.
-                    if let Some(info) = self.req_info.remove(SlabKey::from_raw(sub.id)) {
-                        let deliver = self.server_links[server as usize]
-                            .send(now, self.cfg.msg_header.saturating_add(info.resp_bytes));
-                        self.queue
-                            .schedule(deliver, Ev::SubDone { group: info.group });
-                        if self.tele.spans_enabled() {
-                            // Buffered ack: the queue/disk stages are owned
-                            // by the flush daemon, so the lifecycle skips
-                            // straight from issue to ack.
-                            let stamp = now.as_secs_f64();
-                            self.tele.span_close(stamp, info.stage, stamp);
-                            let ack =
-                                self.tele.span_open(stamp, stamp, "req.ack", info.life, sub.id);
-                            self.tele.span_close(stamp, ack, deliver.as_secs_f64());
-                            self.tele.span_close(stamp, info.life, deliver.as_secs_f64());
-                        }
-                    }
-                    self.server_dirty[server as usize].push(req);
-                    if !self.server_flush_scheduled[server as usize] {
-                        self.server_flush_scheduled[server as usize] = true;
-                        self.queue.schedule(
-                            now.saturating_add(self.cfg.server_flush_interval),
-                            Ev::ServerFlush(server),
-                        );
-                    }
-                } else {
-                    if self.tele.spans_enabled() {
-                        if let Some(info) = self.req_info.get_mut(SlabKey::from_raw(sub.id)) {
-                            let (life, stage) = (info.life, info.stage);
-                            let stamp = now.as_secs_f64();
-                            self.tele.span_close(stamp, stage, stamp);
-                            let queue_span =
-                                self.tele.span_open(stamp, stamp, "server.queue", life, sub.id);
-                            if let Some(info) = self.req_info.get_mut(SlabKey::from_raw(sub.id)) {
-                                info.stage = queue_span;
-                            }
-                        }
-                    }
-                    self.disks[server as usize].enqueue(req);
-                    self.tele.gauge_max(
-                        "disk.queue_depth_max",
-                        self.disks[server as usize].queued() as f64,
-                    );
-                    if !self.disks[server as usize].is_busy() {
-                        self.kick_disk(now, server);
-                    }
-                }
-            }
-            Ev::ServerFlush(server) => {
-                self.server_flush_scheduled[server as usize] = false;
-                let dirty = std::mem::take(&mut self.server_dirty[server as usize]);
-                if dirty.is_empty() {
-                    return;
-                }
-                // The flush daemon is one kernel context issuing in LBN
-                // order — pdflush behaviour.
-                let mut dirty = dirty;
-                dirty.sort_by_key(|r| r.lbn);
-                for mut r in dirty {
-                    // Flush writes carry the daemon's context.
-                    r.ctx = self.effective_ctx(0, IoCtx(0xFFFF_FFFF));
-                    self.disks[server as usize].enqueue(r);
-                }
-                if !self.disks[server as usize].is_busy() {
-                    self.kick_disk(now, server);
-                }
-                // The next timer is armed by the next write arrival.
-            }
-            Ev::DiskKick(server) => {
-                if !self.disks[server as usize].is_busy() {
-                    self.kick_disk(now, server);
-                }
-            }
-            Ev::DiskDone(server) => {
-                let req = self.disks[server as usize].complete();
-                self.tele.event(now.as_secs_f64(), "disk", "done", |e| {
-                    e.u64("server", server as u64).u64("id", req.id)
-                });
-                for &id in &req.merged {
-                    // A write-back flush can replay ids already retired at
-                    // ack time; the slab's generation check turns those
-                    // stale lookups into clean misses.
-                    if let Some(info) = self.req_info.remove(SlabKey::from_raw(id)) {
-                        let deliver = self.server_links[server as usize]
-                            .send(now, self.cfg.msg_header.saturating_add(info.resp_bytes));
-                        self.queue
-                            .schedule(deliver, Ev::SubDone { group: info.group });
-                        if self.tele.spans_enabled() {
-                            let stamp = now.as_secs_f64();
-                            self.tele.span_close(stamp, info.stage, stamp);
-                            let ack = self.tele.span_open(stamp, stamp, "req.ack", info.life, id);
-                            self.tele.span_close(stamp, ack, deliver.as_secs_f64());
-                            self.tele.span_close(stamp, info.life, deliver.as_secs_f64());
-                        }
-                    }
-                }
-                self.kick_disk(now, server);
-            }
             Ev::SubDone { group } => {
                 let done = {
                     let g = self.groups.get_mut(group).expect("live group");
@@ -986,9 +988,12 @@ impl Cluster {
     }
 
     fn on_emc_tick(&mut self, now: SimTime) {
-        // Gather seek-distance samples from every data server.
-        for disk in &mut self.disks {
-            if let Some(avg) = disk.trace_mut().take_window_avg_seek() {
+        // Gather seek-distance samples from every data server. The tick
+        // runs in the serial section between rounds, so every shard cell
+        // is home and its disk is directly readable.
+        for s in self.servers.iter_mut() {
+            let shard = s.as_mut().expect("cell home in serial section");
+            if let Some(avg) = shard.disk.trace_mut().take_window_avg_seek() {
                 self.emc.report_seek_dist(avg);
             }
         }
@@ -1071,9 +1076,12 @@ impl Cluster {
             .any(|p| p.strategy == IoStrategy::DualPar && p.finish.is_none());
         if live {
             let slot = self.cfg.dualpar.sample_slot;
-            self.queue.schedule(now.saturating_add(slot), Ev::EmcTick);
+            let at = now.saturating_add(slot);
+            self.queue.schedule(at, Ev::EmcTick);
+            self.next_tick = Some(at);
         } else {
             self.emc_active = false;
+            self.next_tick = None;
         }
     }
 
@@ -1081,8 +1089,10 @@ impl Cluster {
 
     /// Fold end-of-run substrate statistics (cache counters, disk seek and
     /// per-context service totals) into the telemetry registry so the final
-    /// snapshot carries them. No-op when telemetry is off.
-    fn finalize_telemetry(&mut self) {
+    /// snapshot carries them. Runs after the shard streams are absorbed, so
+    /// its events land at `end` — at or after every merged event — and the
+    /// trace stays time-ordered. No-op when telemetry is off.
+    fn finalize_telemetry(&mut self, end: SimTime) {
         // The conservation identity must hold whether or not telemetry is
         // on; under strict invariants, verify it against a full rescan.
         if cfg!(any(test, feature = "strict-invariants")) {
@@ -1093,7 +1103,7 @@ impl Cluster {
         }
         let ledger = self.cache.prefetch_ledger();
         self.tele
-            .event(self.queue.now().as_secs_f64(), "cache", "conservation", |e| {
+            .event(end.as_secs_f64(), "cache", "conservation", |e| {
                 e.u64("inserted", ledger.inserted)
                     .u64("consumed", ledger.consumed)
                     .u64("overwritten", ledger.overwritten)
@@ -1104,8 +1114,10 @@ impl Cluster {
         if self.tele.spans_enabled() {
             // Every lifecycle is complete by the time all programs finish:
             // state spans close at proc_done, request spans at delivery.
-            // (Flush-daemon disk work can outlive the run, but it never
-            // opens spans — its ids are stale by ack time.)
+            // Cross-shard closes were applied by the merge, so the check
+            // covers server-side lifecycles too. (Flush-daemon disk work
+            // can outlive the run, but it never opens spans — its ids are
+            // stale by ack time.)
             let open = self.tele.spans().open_count();
             dualpar_sim::strict_assert!(open == 0, "{open} spans left open at end of run");
             let total = self.tele.spans().len() as u64;
@@ -1122,8 +1134,8 @@ impl Cluster {
         self.tele.count("cache.bytes_evicted", cs.bytes_evicted);
         self.tele.gauge_set("cache.dirty_hwm", cs.dirty_hwm as f64);
         let mut seek_total = 0u64;
-        for i in 0..self.disks.len() {
-            let disk = &self.disks[i];
+        for i in 0..self.servers.len() {
+            let disk = &self.servers[i].as_ref().expect("cell home").disk;
             let seek = disk.total_seek_distance();
             let busy = disk.total_busy().as_secs_f64();
             let per_ctx: Vec<f64> = disk
@@ -1145,7 +1157,23 @@ impl Cluster {
     }
 
     fn report(&mut self) -> RunReport {
-        self.finalize_telemetry();
+        // The run ends where its last event ran, whichever shard that was.
+        let end = self.servers.iter().fold(self.queue.now(), |e, s| {
+            e.max(s.as_ref().expect("cell home").last_event_time)
+        });
+        // Stitch the per-shard telemetry streams into the client's: trace
+        // rings merge in `(time, shard, position)` order, span logs get
+        // their cross-shard closes applied, registries sum/max/merge.
+        let shard_teles: Vec<Telemetry> = self
+            .servers
+            .iter_mut()
+            .map(|s| {
+                let shard = s.as_mut().expect("cell home");
+                std::mem::replace(&mut shard.tele, Telemetry::new(&TelemetryConfig::default()))
+            })
+            .collect();
+        self.tele.absorb_shards(shard_teles);
+        self.finalize_telemetry(end);
         let programs = self
             .programs
             .iter()
@@ -1154,7 +1182,7 @@ impl Cluster {
                 nprocs: p.nprocs(),
                 strategy: p.strategy.label(),
                 start: p.start,
-                finish: p.finish.unwrap_or_else(|| self.queue.now()),
+                finish: p.finish.unwrap_or(end),
                 bytes_read: p.bytes_read,
                 bytes_written: p.bytes_written,
                 io_time: p.io_time,
@@ -1169,7 +1197,7 @@ impl Cluster {
         let span_profile = if self.tele.spans_enabled() {
             Some(SpanProfile::from_log(
                 self.tele.spans(),
-                self.queue.now().as_secs_f64(),
+                end.as_secs_f64(),
                 |k| format!("p{}/r{}", k >> 32, k & 0xFFFF_FFFF),
             ))
         } else {
@@ -1177,11 +1205,15 @@ impl Cluster {
         };
         RunReport {
             programs,
-            sim_end: self.queue.now(),
+            sim_end: end,
             throughput_timeline: self.timeline.clone(),
             mode_events: self.mode_events.clone(),
             emc_improvement: self.emc_improvement.clone(),
-            disk_bytes: self.disks.iter().map(|d| d.bytes_serviced()).sum(),
+            disk_bytes: self
+                .servers
+                .iter()
+                .map(|s| s.as_ref().expect("cell home").disk.bytes_serviced())
+                .sum(),
             events_processed: self.events_processed,
             telemetry: self.tele.snapshot(),
             span_profile,

@@ -10,6 +10,7 @@
 mod datadriven;
 mod engine;
 mod exec;
+mod sharded;
 
 pub mod builder;
 pub mod config;

@@ -1,0 +1,324 @@
+//! Conservative-parallel shard runtime: a persistent worker pool that runs
+//! per-shard event windows between barrier exchanges, plus the
+//! deterministic cross-shard batch merge.
+//!
+//! The engine partitions a simulation into cells (one per data server plus
+//! a client cell the coordinator drives itself), each owning a private
+//! event queue. One *round* executes every cell's events up to a shared
+//! horizon, then the coordinator exchanges the cells' outbound message
+//! batches. Cells never share state: a cell is *moved* to a worker for the
+//! duration of its window and moved back with its event count, so there is
+//! no aliasing, no locking, and no `unsafe` — the only synchronization is
+//! the two `mpsc` hops per cell per round (the window barrier this module
+//! exists to make cheap; `hot_path`'s `shard_sync` group measures it).
+//!
+//! Determinism: the pool decides only *where* a window executes. Which
+//! events a window contains is fixed by the horizon, and everything the
+//! coordinator does afterwards consumes the cells in index order, so the
+//! simulation's output is a pure function of its inputs at any worker
+//! count — including zero workers, where the caller runs every cell inline.
+
+use crate::time::SimTime;
+use std::sync::mpsc;
+
+/// One shard of a partitioned simulation: executes all of its pending
+/// events with `t < horizon`, queuing outbound cross-shard messages for
+/// the coordinator to exchange after the round's barrier.
+pub trait WindowCell: Send + 'static {
+    /// Run every pending event strictly before `horizon`; return how many
+    /// events were executed.
+    fn run_window(&mut self, horizon: SimTime) -> u64;
+}
+
+struct Job<C> {
+    idx: usize,
+    cell: C,
+    horizon: SimTime,
+}
+
+type Done<C> = (usize, Option<(C, u64)>);
+
+/// Persistent pool of window workers for one sharded run.
+///
+/// Workers live for the whole run (a round is ~microseconds of wall time,
+/// so per-round thread spawning would dominate); each has a private job
+/// channel, and all report on a shared done channel. [`ShardPool::run_round`]
+/// moves the round's active cells out to the workers, runs the caller's
+/// own (client) window on the current thread while they work, and moves
+/// every cell back before returning — the barrier.
+pub struct ShardPool<C: WindowCell> {
+    txs: Vec<mpsc::Sender<Job<C>>>,
+    done_rx: mpsc::Receiver<Done<C>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<C: WindowCell> ShardPool<C> {
+    /// Spawn a pool of `workers` window threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (done_tx, done_rx) = mpsc::channel::<Done<C>>();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job<C>>();
+            let done = done_tx.clone();
+            txs.push(tx);
+            handles.push(std::thread::spawn(move || worker_loop(rx, done)));
+        }
+        ShardPool {
+            txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Run one barrier window: dispatch `cells[i]` for each `i` in `active`
+    /// to the workers (round-robin), run `client` — the coordinator's own
+    /// window — on the calling thread while they work, then wait for every
+    /// dispatched cell to come home. Returns the total events the
+    /// dispatched cells executed, plus `client`'s result.
+    ///
+    /// Panics if a worker's window panicked (the panic message will already
+    /// have been printed by that thread's hook). Cells still in flight on
+    /// other workers own their state outright, so unwinding here is safe;
+    /// they exit when the done channel disconnects.
+    pub fn run_round<R>(
+        &self,
+        cells: &mut [Option<C>],
+        active: &[usize],
+        horizon: SimTime,
+        client: impl FnOnce() -> R,
+    ) -> (u64, R) {
+        for (k, &i) in active.iter().enumerate() {
+            let cell = cells[i].take().expect("active cell present");
+            let job = Job {
+                idx: i,
+                cell,
+                horizon,
+            };
+            self.txs[k % self.txs.len()]
+                .send(job)
+                .expect("shard worker alive");
+        }
+        let client_result = client();
+        let mut events = 0u64;
+        for _ in 0..active.len() {
+            let (idx, payload) = self
+                .done_rx
+                .recv()
+                .expect("at least one shard worker alive");
+            let Some((cell, n)) = payload else {
+                panic!("shard worker panicked while running cell {idx}");
+            };
+            cells[idx] = Some(cell);
+            events += n;
+        }
+        (events, client_result)
+    }
+}
+
+impl<C: WindowCell> Drop for ShardPool<C> {
+    fn drop(&mut self) {
+        // Disconnect the job channels so the workers' recv loops end, then
+        // join. A worker that panicked already reported through the done
+        // channel (or we are unwinding anyway), so join errors are ignored.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop<C: WindowCell>(rx: mpsc::Receiver<Job<C>>, done: mpsc::Sender<Done<C>>) {
+    while let Ok(Job {
+        idx,
+        mut cell,
+        horizon,
+    }) = rx.recv()
+    {
+        // Catch panics so the coordinator gets a deterministic "cell idx
+        // failed" report instead of a deadlocked barrier. The cell moves
+        // into the closure and back out; on panic it is dropped here.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let n = cell.run_window(horizon);
+            (cell, n)
+        }));
+        match result {
+            Ok(pair) => {
+                if done.send((idx, Some(pair))).is_err() {
+                    return; // coordinator gone; shutting down
+                }
+            }
+            Err(_) => {
+                let _ = done.send((idx, None));
+                return;
+            }
+        }
+    }
+}
+
+/// Deterministically merge per-source message batches into one delivery
+/// stream ordered by `(time, source)`.
+///
+/// Each batch must already be time-sorted (each source emits in its own
+/// event order, which is time-monotone); ties across sources resolve to
+/// the lower source index, and order within a source is preserved. This is
+/// the exchange's canonical order: a pure function of the batches, never
+/// of which thread produced them first.
+pub fn merge_batches<T>(batches: Vec<Vec<(SimTime, T)>>) -> Vec<(SimTime, u32, T)> {
+    let total: usize = batches.iter().map(Vec::len).sum();
+    let mut heads: Vec<std::iter::Peekable<std::vec::IntoIter<(SimTime, T)>>> = batches
+        .into_iter()
+        .map(|b| {
+            debug_assert!(
+                b.windows(2).all(|w| w[0].0 <= w[1].0),
+                "cross-shard batch not time-sorted"
+            );
+            b.into_iter().peekable()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(SimTime, usize)> = None;
+        for (src, head) in heads.iter_mut().enumerate() {
+            if let Some(&(t, _)) = head.peek() {
+                // Strictly-less keeps the lowest source on ties.
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, src));
+                }
+            }
+        }
+        let Some((_, src)) = best else {
+            break;
+        };
+        let (t, msg) = heads[src].next().expect("peeked head nonempty");
+        out.push((t, src as u32, msg));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A cell that "executes" by draining a pre-seeded event list up to the
+    /// horizon, summing payloads into its state.
+    struct TestCell {
+        pending: Vec<(SimTime, u64)>, // sorted ascending
+        cursor: usize,
+        acc: u64,
+    }
+
+    impl WindowCell for TestCell {
+        fn run_window(&mut self, horizon: SimTime) -> u64 {
+            let mut n = 0;
+            while self.cursor < self.pending.len() && self.pending[self.cursor].0 < horizon {
+                self.acc = self.acc.wrapping_mul(31).wrapping_add(self.pending[self.cursor].1);
+                self.cursor += 1;
+                n += 1;
+            }
+            n
+        }
+    }
+
+    fn seeded_cells(n: usize) -> Vec<Option<TestCell>> {
+        (0..n)
+            .map(|i| {
+                let pending = (0..40u64)
+                    .map(|k| (SimTime(k * 100 + i as u64), k))
+                    .collect();
+                Some(TestCell {
+                    pending,
+                    cursor: 0,
+                    acc: 0,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rounds_match_inline_execution_at_any_worker_count() {
+        let horizons = [SimTime(1000), SimTime(2500), SimTime(4100)];
+        let mut expect = seeded_cells(5);
+        for h in horizons {
+            for cell in expect.iter_mut().flatten() {
+                cell.run_window(h);
+            }
+        }
+        let expect: Vec<u64> = expect.into_iter().map(|c| c.unwrap().acc).collect();
+
+        for workers in [1, 2, 4] {
+            let pool: ShardPool<TestCell> = ShardPool::new(workers);
+            let mut cells = seeded_cells(5);
+            let active = [0usize, 1, 2, 3, 4];
+            let mut client_rounds = 0u32;
+            for h in horizons {
+                let (n, ()) = pool.run_round(&mut cells, &active, h, || {
+                    client_rounds += 1;
+                });
+                assert!(n > 0);
+            }
+            assert_eq!(client_rounds, 3);
+            let got: Vec<u64> = cells.into_iter().map(|c| c.unwrap().acc).collect();
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn inactive_cells_stay_home() {
+        let pool: ShardPool<TestCell> = ShardPool::new(2);
+        let mut cells = seeded_cells(3);
+        let (n, ()) = pool.run_round(&mut cells, &[1], SimTime(500), || {});
+        assert_eq!(n, 5);
+        assert_eq!(cells[0].as_ref().unwrap().cursor, 0);
+        assert_eq!(cells[1].as_ref().unwrap().cursor, 5);
+        assert_eq!(cells[2].as_ref().unwrap().cursor, 0);
+    }
+
+    struct PanicCell;
+    impl WindowCell for PanicCell {
+        fn run_window(&mut self, _horizon: SimTime) -> u64 {
+            panic!("window exploded");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_coordinator() {
+        let result = std::panic::catch_unwind(|| {
+            let pool: ShardPool<PanicCell> = ShardPool::new(1);
+            let mut cells = vec![Some(PanicCell)];
+            pool.run_round(&mut cells, &[0], SimTime(1), || {});
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn batch_merge_orders_by_time_then_source() {
+        let t = |n: u64| SimTime::ZERO + SimDuration(n);
+        let batches = vec![
+            vec![(t(5), "a0"), (t(9), "a1")],
+            vec![(t(5), "b0"), (t(6), "b1"), (t(9), "b2")],
+            vec![],
+            vec![(t(1), "d0")],
+        ];
+        let merged = merge_batches(batches);
+        let flat: Vec<(u64, u32, &str)> = merged.into_iter().map(|(t, s, m)| (t.0, s, m)).collect();
+        assert_eq!(
+            flat,
+            vec![
+                (1, 3, "d0"),
+                (5, 0, "a0"),
+                (5, 1, "b0"),
+                (6, 1, "b1"),
+                (9, 0, "a1"),
+                (9, 1, "b2"),
+            ]
+        );
+    }
+}

@@ -163,6 +163,32 @@ impl WorkloadExpr {
         }
     }
 
+    /// Estimated engine file requests per rank under op-count multiplier
+    /// `scale`: each leaf op fans out into roughly `mean_size / 64 KiB`
+    /// stripe-sized requests once the I/O layer splits it, so a pattern of
+    /// few huge calls costs what it actually costs to simulate, not what
+    /// its op count suggests.
+    pub fn estimated_requests(&self, scale: f64) -> u64 {
+        /// The engine's striping unit; requests are split to this size.
+        const STRIPE_BYTES: u64 = 64 << 10;
+        match self {
+            WorkloadExpr::Pattern(p) => {
+                let fanout = p.size.mean_bytes().div_ceil(STRIPE_BYTES).max(1);
+                scaled_ops(p.ops, scale).saturating_mul(fanout)
+            }
+            WorkloadExpr::Seq(xs) | WorkloadExpr::Interleave(xs) => xs
+                .iter()
+                .fold(0u64, |acc, x| acc.saturating_add(x.estimated_requests(scale))),
+            WorkloadExpr::Repeat { times, body } => {
+                body.estimated_requests(scale).saturating_mul(*times)
+            }
+            WorkloadExpr::Phased { phases, body, .. } => {
+                body.estimated_requests(scale).saturating_mul(*phases)
+            }
+            WorkloadExpr::Scaled { factor, body } => body.estimated_requests(scale * factor),
+        }
+    }
+
     /// Largest request size any leaf can draw (bounds the slab check).
     pub fn max_request(&self) -> u64 {
         match self {
@@ -437,10 +463,14 @@ impl DslWorkload {
         Ok(())
     }
 
-    /// Estimated I/O calls across all ranks (suite scheduling cost proxy).
+    /// Estimated engine file requests across all ranks (suite scheduling
+    /// cost proxy, comparable to the named presets' request counts): I/O
+    /// calls weighted by each leaf's stripe fan-out, so a DSL workload of
+    /// few megabyte-sized ops ranks where its simulation cost actually
+    /// lands instead of at the bottom of the longest-first schedule.
     pub fn cost(&self) -> u64 {
         self.expr
-            .estimated_ops(1.0)
+            .estimated_requests(1.0)
             .saturating_mul(self.nprocs as u64)
     }
 
@@ -563,6 +593,48 @@ mod tests {
         let script = w.build(FileId(1));
         assert_eq!(io_count(&script, 0), 18);
         assert_eq!(io_count(&script, 1), 18);
+    }
+
+    #[test]
+    fn cost_weighs_request_fanout_not_just_ops() {
+        // Few megabyte-sized ops simulate as many stripe requests; the
+        // cost estimate must rank them above many tiny ops, or the
+        // longest-first suite schedule runs its dominant entry last.
+        let big = DslWorkload {
+            nprocs: 4,
+            expr: WorkloadExpr::Pattern(AccessPattern {
+                ops: 8,
+                size: SizeDistr::Fixed { bytes: 1 << 20 },
+                ..AccessPattern::default()
+            }),
+            ..DslWorkload::default()
+        };
+        let small = DslWorkload {
+            nprocs: 4,
+            expr: WorkloadExpr::Pattern(AccessPattern {
+                ops: 64,
+                size: SizeDistr::Fixed { bytes: 4 << 10 },
+                ..AccessPattern::default()
+            }),
+            ..DslWorkload::default()
+        };
+        // 8 ops × (1 MiB / 64 KiB) = 128 requests per rank, × 4 ranks.
+        assert_eq!(big.cost(), 8 * 16 * 4);
+        // Sub-stripe requests still count one request per op.
+        assert_eq!(small.cost(), 64 * 4);
+        assert!(big.cost() > small.cost());
+        // The fan-out follows the distribution mean, not the max.
+        let mixed = WorkloadExpr::Pattern(AccessPattern {
+            ops: 10,
+            size: SizeDistr::Bimodal {
+                small: 64 << 10,
+                large: 16 << 20,
+                large_fraction: 0.25,
+            },
+            ..AccessPattern::default()
+        });
+        let mean = (64u64 << 10) * 3 / 4 + (16u64 << 20) / 4;
+        assert_eq!(mixed.estimated_requests(1.0), 10 * mean.div_ceil(64 << 10));
     }
 
     #[test]

@@ -93,19 +93,36 @@ fn worker_thread_trace_passes_interference_audit() {
 
 #[test]
 fn truncated_ring_trace_passes_audit_with_tolerance() {
-    // btio_vanilla overruns the 64Ki-event trace ring, so its captured
-    // trace is a suffix: the oldest dispatches are evicted while their
-    // completions survive. The default audit rightly rejects that; the
-    // truncation-tolerant audit must accept it, counting the orphaned
-    // prefix pairings as warnings instead.
+    // Since the engine was sharded, each data server records disk events
+    // into its own ring, so a ring overrun evicts whole start/done pairs
+    // per server and the surviving suffix is still pair-consistent — the
+    // classic truncation artifact (a completion whose dispatch was
+    // evicted) can no longer be produced by overrun alone. Construct that
+    // dropped-prefix artifact directly: cut the captured trace so it
+    // begins at its final `disk/done`, orphaning exactly one completion.
+    // The default audit rightly rejects it; the truncation-tolerant audit
+    // must accept it, counting the orphaned pairing as a warning instead.
     let entries: Vec<_> = traced_small_suite()
         .into_iter()
-        .filter(|e| e.name == "btio_vanilla")
+        .filter(|e| e.name.starts_with("mpiio"))
+        .take(1)
         .collect();
     assert_eq!(entries.len(), 1);
     let run = run_entry(&entries[0]);
-    let trace = run.trace_jsonl.as_ref().expect("trace captured");
-    let strict = audit_jsonl_str(trace, AuditConfig::default()).expect("trace parses");
+    let full = run.trace_jsonl.as_ref().expect("trace captured");
+    let cut = full
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("\"component\":\"disk\"") && l.contains("\"kind\":\"done\""))
+        .map(|(i, _)| i)
+        .last()
+        .expect("trace contains a disk completion");
+    let trace: String = full
+        .lines()
+        .skip(cut)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let strict = audit_jsonl_str(&trace, AuditConfig::default()).expect("trace parses");
     assert!(
         !strict.ok(),
         "expected the truncated ring to trip the strict audit"
@@ -114,7 +131,7 @@ fn truncated_ring_trace_passes_audit_with_tolerance() {
         tolerate_truncation: true,
         ..AuditConfig::default()
     };
-    let tolerant = audit_jsonl_str(trace, tolerant_cfg).expect("trace parses");
+    let tolerant = audit_jsonl_str(&trace, tolerant_cfg).expect("trace parses");
     assert!(
         tolerant.ok(),
         "tolerant audit still found violations: {:?}",

@@ -1,0 +1,155 @@
+//! Byte-identity of the sharded engine: the partition into logical shards
+//! is fixed by the cluster topology, and `--shards` only picks where each
+//! conservative window executes, so every report, trace, and fingerprint
+//! must be bit-identical at every `--shards` level — and independently of
+//! `--jobs`, which fans whole runs over the suite pool. The matrix test
+//! pins the committed suite entries; the property test holds the same line
+//! for arbitrary generated DSL workloads.
+
+use dualpar_bench::suite::{
+    report_fingerprint, run_entry, run_entry_sharded, run_suite_entries,
+};
+use dualpar_bench::{builtin_suite, ExperimentSpec, ProgramEntry, Scale, SuiteEntry, WorkloadSpec};
+use dualpar_cluster::{IoStrategy, TelemetryLevel};
+use dualpar_workloads::{AccessPattern, DslWorkload, OffsetDistr, SizeDistr, WorkloadExpr};
+use proptest::prelude::*;
+
+#[test]
+fn reports_and_traces_identical_across_shards_and_jobs() {
+    // The fast single-program entries plus the two-program interference
+    // pair: one- and multi-program clusters, vanilla and DualPar.
+    let mut entries: Vec<_> = builtin_suite(Scale::Small)
+        .into_iter()
+        .filter(|e| e.name.starts_with("mpiio") || e.name == "interference_pair")
+        .collect();
+    assert_eq!(entries.len(), 3);
+    for e in &mut entries {
+        e.spec.cluster.telemetry.level = TelemetryLevel::Trace;
+    }
+    let baseline = run_suite_entries(&entries, 1, None, 1, 0);
+    for jobs in [1usize, 4] {
+        for shards in [1usize, 2, 4] {
+            if (jobs, shards) == (1, 1) {
+                continue;
+            }
+            let runs = run_suite_entries(&entries, jobs, None, shards, 0);
+            for (b, r) in baseline.iter().zip(&runs) {
+                let b = b.as_ref().expect("no deadline configured");
+                let r = r.as_ref().expect("no deadline configured");
+                assert_eq!(b.name, r.name, "result order must match input order");
+                assert_eq!(
+                    b.report_json, r.report_json,
+                    "{}: report differs at jobs={jobs} shards={shards}",
+                    b.name
+                );
+                assert_eq!(
+                    b.trace_jsonl, r.trace_jsonl,
+                    "{}: trace differs at jobs={jobs} shards={shards}",
+                    b.name
+                );
+                assert_eq!(
+                    report_fingerprint(&b.report_json),
+                    report_fingerprint(&r.report_json)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oversharding_beyond_the_server_count_is_identical_too() {
+    // More shard workers than data servers: the pool clamps to the server
+    // count, and the report still must not move a byte.
+    let entry = builtin_suite(Scale::Small)
+        .into_iter()
+        .find(|e| e.name == "hpio_dualpar")
+        .expect("suite entry exists");
+    let serial = run_entry(&entry);
+    let sharded = run_entry_sharded(&entry, 64);
+    assert_eq!(serial.report_json, sharded.report_json);
+}
+
+// ---------------------------------------------------------------------------
+// Property: arbitrary DSL workloads run bit-identically serial vs sharded.
+
+fn gen_pattern() -> impl Strategy<Value = WorkloadExpr> {
+    (
+        1u64..8,
+        prop_oneof![
+            Just(SizeDistr::Fixed { bytes: 16384 }),
+            Just(SizeDistr::Uniform {
+                min: 4096,
+                max: 65536,
+            }),
+        ],
+        prop_oneof![
+            Just(OffsetDistr::Sequential),
+            Just(OffsetDistr::Random),
+            Just(OffsetDistr::ZipfHotspot { theta: 0.9 }),
+        ],
+        0.0f64..1.0,
+    )
+        .prop_map(|(ops, size, offsets, write_fraction)| {
+            WorkloadExpr::Pattern(AccessPattern {
+                ops,
+                size,
+                offsets,
+                write_fraction,
+                ..AccessPattern::default()
+            })
+        })
+}
+
+fn gen_expr() -> impl Strategy<Value = WorkloadExpr> {
+    prop_oneof![
+        gen_pattern(),
+        proptest::collection::vec(gen_pattern(), 1..3).prop_map(WorkloadExpr::Seq),
+        (1u64..3, gen_pattern()).prop_map(|(phases, body)| WorkloadExpr::Phased {
+            phases,
+            compute_secs: 0.001,
+            body: Box::new(body),
+        }),
+    ]
+}
+
+fn gen_workload() -> impl Strategy<Value = DslWorkload> {
+    (gen_expr(), 2usize..5, 1u64..1000).prop_map(|(expr, nprocs, seed)| DslWorkload {
+        name: "gen".into(),
+        nprocs,
+        file_size: 4 << 20,
+        seed,
+        expr,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A random DSL workload produces the same report fingerprint whether
+    /// every window runs inline (`shards=1`) or on shard workers.
+    #[test]
+    fn generated_workloads_fingerprint_identically_serial_vs_sharded(
+        workload in gen_workload(),
+        dualpar in 0u8..2,
+    ) {
+        prop_assert!(workload.validate().is_ok());
+        let mut spec = ExperimentSpec::default();
+        spec.cluster.num_data_servers = 3;
+        spec.cluster.num_compute_nodes = 2;
+        spec.cluster.telemetry.level = TelemetryLevel::Trace;
+        spec.programs = vec![ProgramEntry {
+            workload: WorkloadSpec::dsl(workload),
+            strategy: if dualpar == 1 { IoStrategy::DualPar } else { IoStrategy::Vanilla },
+            start_secs: 0.0,
+        }];
+        let entry = SuiteEntry::new("gen", spec);
+        let serial = run_entry_sharded(&entry, 1);
+        let sharded = run_entry_sharded(&entry, 3);
+        prop_assert_eq!(
+            report_fingerprint(&serial.report_json),
+            report_fingerprint(&sharded.report_json)
+        );
+        prop_assert_eq!(&serial.report_json, &sharded.report_json);
+        prop_assert_eq!(&serial.trace_jsonl, &sharded.trace_jsonl);
+    }
+}
